@@ -1,0 +1,113 @@
+//! Related-work baselines used only by the benchmark suite.
+
+use pto_core::fc::FlatCombining;
+use pto_core::ConcurrentSet;
+use pto_sim::{charge_n, CostKind};
+use std::collections::BTreeSet;
+
+const OP_INSERT: u64 = 0;
+const OP_REMOVE: u64 = 1 << 60;
+const OP_CONTAINS: u64 = 2 << 60;
+const KEY_MASK: u64 = (1 << 60) - 1;
+
+/// A flat-combined sequential set — the §6 comparison point. The
+/// sequential apply charges a balanced-tree traversal (`~log₂ n` shared
+/// loads plus a store for updates), which is generous to flat combining:
+/// a real sequential tree walk costs at least that.
+pub struct FcSet {
+    inner: FlatCombining<BTreeSet<u64>>,
+}
+
+impl FcSet {
+    pub fn new() -> Self {
+        FcSet {
+            inner: FlatCombining::new(BTreeSet::new()),
+        }
+    }
+
+    fn apply(s: &mut BTreeSet<u64>, req: u64) -> u64 {
+        let key = req & KEY_MASK;
+        let depth = (usize::BITS - s.len().max(1).leading_zeros()) as u64;
+        charge_n(CostKind::SharedLoad, depth.max(1));
+        match req & !KEY_MASK {
+            OP_INSERT => {
+                charge_n(CostKind::SharedStore, 1);
+                s.insert(key) as u64
+            }
+            OP_REMOVE => {
+                charge_n(CostKind::SharedStore, 1);
+                s.remove(&key) as u64
+            }
+            _ => s.contains(&key) as u64,
+        }
+    }
+
+    fn run(&self, req: u64) -> bool {
+        self.inner.execute(req, Self::apply) == 1
+    }
+}
+
+impl Default for FcSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSet for FcSet {
+    fn insert(&self, key: u64) -> bool {
+        assert!(key <= KEY_MASK);
+        self.run(OP_INSERT | key)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        assert!(key <= KEY_MASK);
+        self.run(OP_REMOVE | key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        assert!(key <= KEY_MASK);
+        self.run(OP_CONTAINS | key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.execute(OP_CONTAINS | KEY_MASK, |s, _| s.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pto_sim::rng::XorShift64;
+
+    #[test]
+    fn fcset_matches_btreeset() {
+        let s = FcSet::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut rng = XorShift64::new(555);
+        for _ in 0..2_000 {
+            let k = rng.below(100);
+            match rng.below(3) {
+                0 => assert_eq!(s.insert(k), oracle.insert(k)),
+                1 => assert_eq!(s.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(s.contains(k), oracle.contains(&k)),
+            }
+        }
+        assert_eq!(s.len(), oracle.len());
+    }
+
+    #[test]
+    fn fcset_concurrent_partitioned_inserts() {
+        let s = FcSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for k in (t * 100)..(t * 100 + 100) {
+                        assert!(s.insert(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 400);
+    }
+}

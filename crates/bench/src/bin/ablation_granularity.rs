@@ -1,0 +1,6 @@
+//! §3.1 granularity ablation; see pto_bench::figs::ablation_granularity.
+fn main() {
+    let t = pto_bench::figs::ablation_granularity();
+    println!("{}", t.render());
+    t.write_csv("ablation_granularity").expect("write csv");
+}

@@ -1,0 +1,6 @@
+//! §6 related-work comparison: flat combining on a search structure.
+fn main() {
+    let t = pto_bench::figs::extra_fc();
+    println!("{}", t.render());
+    t.write_csv("extra_fc").expect("write csv");
+}

@@ -1,0 +1,6 @@
+//! Extra experiment beyond the paper's figures; see pto_bench::figs.
+fn main() {
+    let t = pto_bench::figs::extra_list();
+    println!("{}", t.render());
+    t.write_csv("extra_list").expect("write csv");
+}

@@ -1,0 +1,6 @@
+//! Extra experiment beyond the paper's figures; see pto_bench::figs.
+fn main() {
+    let t = pto_bench::figs::extra_queue();
+    println!("{}", t.render());
+    t.write_csv("extra_queue").expect("write csv");
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig2a data; see pto_bench::figs.
+fn main() {
+    let t = pto_bench::figs::fig2a();
+    println!("{}", t.render());
+    t.write_csv("fig2a").expect("write results/fig2a.csv");
+    let h = pto_htm::snapshot();
+    println!("HTM: {} begins, {} commits ({:.1}% commit rate)", h.begins, h.commits, 100.0 * h.commit_rate());
+}

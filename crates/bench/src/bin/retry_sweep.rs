@@ -1,0 +1,8 @@
+//! Regenerates the paper's retry_sweep data; see pto_bench::figs.
+fn main() {
+    let t = pto_bench::figs::retry_sweep();
+    println!("{}", t.render());
+    t.write_csv("retry_sweep").expect("write results/retry_sweep.csv");
+    let h = pto_htm::snapshot();
+    println!("HTM: {} begins, {} commits ({:.1}% commit rate)", h.begins, h.commits, 100.0 * h.commit_rate());
+}

@@ -1,0 +1,109 @@
+//! Regenerate every table and figure of the paper's evaluation (§4) and
+//! print EXPERIMENTS.md-ready tables plus the headline summary (the
+//! abstract's "up to 1.5x at one thread, up to 3x at 8 threads").
+
+use pto_bench::figs;
+use pto_bench::report::Table;
+
+fn show(t: &Table, name: &str) {
+    println!("{}", t.render());
+    print!("{}", t.sparklines());
+    let h = pto_htm::snapshot();
+    if h.begins > 0 {
+        println!(
+            "   [htm this figure: {} begins, {:.1}% commits; aborts {} conflict / {} capacity / {} explicit]",
+            h.begins,
+            100.0 * h.commit_rate(),
+            h.aborts_conflict,
+            h.aborts_capacity,
+            h.aborts_explicit
+        );
+    }
+    println!();
+    pto_htm::reset_stats();
+    if let Err(e) = t.write_csv(name) {
+        eprintln!("warning: could not write results/{name}.csv: {e}");
+    }
+}
+
+fn main() {
+    println!("PTO reproduction — full evaluation sweep");
+    println!("backend: {}", pto_htm::hw::backend_description());
+    println!(
+        "ops/thread = {}, trials = {} (set PTO_BENCH_OPS / PTO_BENCH_TRIALS to change)\n",
+        pto_bench::ops_per_thread(),
+        pto_bench::trials()
+    );
+
+    let mut speedup_1t: f64 = 0.0;
+    let mut speedup_8t: f64 = 0.0;
+    let mut track = |t: &Table| {
+        // Series 0 is always the lock-free baseline; compare the best PTO
+        // series per row (TLE and fence-kept ablations are also non-base
+        // series, so restrict to names containing "pto").
+        for r in &t.rows {
+            let base = r.values[0];
+            if base <= 0.0 {
+                continue;
+            }
+            for (i, v) in r.values.iter().enumerate().skip(1) {
+                if !t.series[i].contains("pto") && !t.series[i].contains("inplace") {
+                    continue;
+                }
+                let ratio = v / base;
+                if r.threads == 1 {
+                    speedup_1t = speedup_1t.max(ratio);
+                }
+                if r.threads == 8 {
+                    speedup_8t = speedup_8t.max(ratio);
+                }
+            }
+        }
+    };
+
+    let t = figs::fig2a();
+    track(&t);
+    show(&t, "fig2a");
+
+    let t = figs::fig2b();
+    track(&t);
+    show(&t, "fig2b");
+
+    for (i, t) in figs::fig3().into_iter().enumerate() {
+        track(&t);
+        show(&t, &format!("fig3{}", ['a', 'b', 'c'][i]));
+    }
+
+    for (i, t) in figs::fig4().into_iter().enumerate() {
+        track(&t);
+        show(&t, &format!("fig4{}", ['a', 'b', 'c'][i]));
+    }
+
+    let t = figs::fig5a();
+    track(&t);
+    show(&t, "fig5a");
+
+    let t = figs::fig5b();
+    show(&t, "fig5b");
+
+    let t = figs::fig5c();
+    show(&t, "fig5c");
+
+    show(&figs::retry_sweep(), "retry_sweep");
+    show(&figs::ablation_capacity(), "ablation_capacity");
+    show(&figs::ablation_help(), "ablation_help");
+    show(&figs::ablation_granularity(), "ablation_granularity");
+
+    let t = figs::extra_queue();
+    track(&t);
+    show(&t, "extra_queue");
+    let t = figs::extra_list();
+    track(&t);
+    show(&t, "extra_list");
+    let t = figs::extra_fc();
+    show(&t, "extra_fc");
+
+    println!("\n== headline ==");
+    println!("best PTO speedup at 1 thread : {speedup_1t:.2}x (paper: up to 1.5x)");
+    println!("best PTO speedup at 8 threads: {speedup_8t:.2}x (paper: up to 3x)");
+}

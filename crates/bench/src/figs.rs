@@ -1,0 +1,445 @@
+//! One function per figure/table of the paper's evaluation (§4).
+//!
+//! Each returns a [`Table`] whose first series is the lock-free baseline;
+//! `render()` adds ratio columns, and the binaries write CSVs.
+
+use crate::drivers::{mbench, pqbench, setbench};
+use crate::report::{average_trials, Table};
+use crate::{ops_per_thread, trials, THREADS};
+use pto_bst::{Bst, BstVariant};
+use pto_core::policy::PtoPolicy;
+use pto_hashtable::{FSetHashTable, HashVariant};
+use pto_mindicator::{LockFreeMindicator, PtoMindicator, TleMindicator};
+use pto_mound::Mound;
+use pto_skiplist::{SkipListSet, SkipQueue};
+
+/// Mound tree capacity for pqbench runs.
+const MOUND_DEPTH: u32 = 16;
+/// Key range for priority-queue and mindicator workloads.
+const PQ_RANGE: u64 = 4096;
+const M_RANGE: u64 = 65_536;
+
+/// Figure 2(a): Mindicator, 64 leaves, arrive/depart pairs.
+pub fn fig2a() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "FIG 2(a) — Mindicator mbench (ops/ms): lock-free vs PTO vs TLE",
+        &["lockfree", "pto", "tle"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| mbench(|| LockFreeMindicator::new(64), n, ops, M_RANGE, s));
+        let pt = average_trials(tr, |s| mbench(|| PtoMindicator::new(64), n, ops, M_RANGE, s));
+        let tle = average_trials(tr, |s| mbench(|| TleMindicator::new(64), n, ops, M_RANGE, s));
+        t.push(n, vec![lf, pt, tle]);
+    }
+    t
+}
+
+/// Figure 2(b): priority queues — Mound and SkipQueue, 50/50 push/pop.
+pub fn fig2b() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "FIG 2(b) — Priority queues pqbench (ops/ms)",
+        &["mound-lf", "mound-pto", "skipq-lf", "skipq-pto"],
+    );
+    for &n in &THREADS {
+        let mlf = average_trials(tr, |s| pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s));
+        let mpt = average_trials(tr, |s| pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s));
+        let slf = average_trials(tr, |s| pqbench(SkipQueue::new_lockfree, n, ops, PQ_RANGE, s));
+        let spt = average_trials(tr, |s| pqbench(SkipQueue::new_pto, n, ops, PQ_RANGE, s));
+        t.push(n, vec![mlf, mpt, slf, spt]);
+    }
+    t
+}
+
+/// Figure 3: search structures (BST vs skiplist), range 512,
+/// lookup ∈ {0, 34, 100}%. Returns one table per subfigure.
+pub fn fig3() -> Vec<Table> {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut tables = Vec::new();
+    for (sub, lookup) in [("a", 0u64), ("b", 34), ("c", 100)] {
+        let mut t = Table::new(
+            &format!("FIG 3({sub}) — setbench range=512 lookup={lookup}% (ops/ms)"),
+            &["tree-lf", "tree-pto", "skip-lf", "skip-pto"],
+        );
+        for &n in &THREADS {
+            let blf = average_trials(tr, |s| {
+                setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, lookup, s)
+            });
+            let bpt = average_trials(tr, |s| {
+                setbench(|| Bst::new(BstVariant::Pto1Pto2), n, ops, 512, lookup, s)
+            });
+            let slf = average_trials(tr, |s| {
+                setbench(SkipListSet::new_lockfree, n, ops, 512, lookup, s)
+            });
+            let spt = average_trials(tr, |s| setbench(SkipListSet::new_pto, n, ops, 512, lookup, s));
+            t.push(n, vec![blf, bpt, slf, spt]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Figure 4: hash table, range 64K, lookup ∈ {0, 80, 100}%.
+pub fn fig4() -> Vec<Table> {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut tables = Vec::new();
+    for (sub, lookup) in [("a", 0u64), ("b", 80), ("c", 100)] {
+        let mut t = Table::new(
+            &format!("FIG 4({sub}) — hash setbench range=64K lookup={lookup}% (ops/ms)"),
+            &["hash-lf", "hash-pto", "hash-pto-inplace"],
+        );
+        for &n in &THREADS {
+            let lf = average_trials(tr, |s| {
+                setbench(
+                    || FSetHashTable::new(HashVariant::LockFree, 1024),
+                    n,
+                    ops,
+                    65_536,
+                    lookup,
+                    s,
+                )
+            });
+            let pt = average_trials(tr, |s| {
+                setbench(
+                    || FSetHashTable::new(HashVariant::Pto, 1024),
+                    n,
+                    ops,
+                    65_536,
+                    lookup,
+                    s,
+                )
+            });
+            let ip = average_trials(tr, |s| {
+                setbench(
+                    || FSetHashTable::new(HashVariant::PtoInplace, 1024),
+                    n,
+                    ops,
+                    65_536,
+                    lookup,
+                    s,
+                )
+            });
+            t.push(n, vec![lf, pt, ip]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Figure 5(a): BST write-only — % improvement over lock-free of PTO1,
+/// PTO2, and PTO1+PTO2 (the series carry raw ops/ms; `improvement()`
+/// derives the paper's y-axis).
+pub fn fig5a() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "FIG 5(a) — BST composition, write-only range=512 (ops/ms; ratios vs lock-free)",
+        &["lockfree", "pto1", "pto2", "pto1+pto2"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| {
+            setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, 0, s)
+        });
+        let p1 = average_trials(tr, |s| setbench(|| Bst::new(BstVariant::Pto1), n, ops, 512, 0, s));
+        let p2 = average_trials(tr, |s| setbench(|| Bst::new(BstVariant::Pto2), n, ops, 512, 0, s));
+        let p12 = average_trials(tr, |s| {
+            setbench(|| Bst::new(BstVariant::Pto1Pto2), n, ops, 512, 0, s)
+        });
+        t.push(n, vec![lf, p1, p2, p12]);
+    }
+    t
+}
+
+/// Figure 5(b): fence elision on the Mound — PTO with fences kept vs
+/// elided, against the lock-free baseline.
+pub fn fig5b() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "FIG 5(b) — Mound fence elision, pqbench (ops/ms; ratios vs lock-free)",
+        &["lockfree", "pto-fence", "pto-nofence"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s));
+        let fenced = average_trials(tr, |s| {
+            pqbench(
+                || Mound::new_pto_with(MOUND_DEPTH, PtoPolicy::with_attempts(4).keep_fences()),
+                n,
+                ops,
+                PQ_RANGE,
+                s,
+            )
+        });
+        let nofence = average_trials(tr, |s| pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s));
+        t.push(n, vec![lf, fenced, nofence]);
+    }
+    t
+}
+
+/// Figure 5(c): fence elision on the BST (PTO1), write-only setbench.
+pub fn fig5c() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "FIG 5(c) — BST fence elision, write-only range=512 (ops/ms; ratios vs lock-free)",
+        &["lockfree", "pto-fence", "pto-nofence"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| {
+            setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, 0, s)
+        });
+        let fenced = average_trials(tr, |s| {
+            setbench(
+                || {
+                    Bst::with_policies(
+                        BstVariant::Pto1,
+                        PtoPolicy::with_attempts(4).keep_fences(),
+                        PtoPolicy::with_attempts(4).keep_fences(),
+                    )
+                },
+                n,
+                ops,
+                512,
+                0,
+                s,
+            )
+        });
+        let nofence = average_trials(tr, |s| {
+            setbench(|| Bst::new(BstVariant::Pto1), n, ops, 512, 0, s)
+        });
+        t.push(n, vec![lf, fenced, nofence]);
+    }
+    t
+}
+
+/// §3.1/§4.2 retry-threshold sweep at 8 threads: the paper tuned 3 for the
+/// Mindicator, 4 for the Mound's DCAS, (2, 16) for the composed BST.
+pub fn retry_sweep() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let attempts = [0u32, 1, 2, 3, 4, 6, 8, 16];
+    let mut t = Table::new(
+        "RETRY SWEEP — throughput at 8 threads vs prefix attempts (ops/ms)",
+        &["mindicator", "mound", "bst-pto2"],
+    );
+    for &a in &attempts {
+        let mi = average_trials(tr, |s| {
+            mbench(
+                || PtoMindicator::with_policy(64, PtoPolicy::with_attempts(a)),
+                8,
+                ops,
+                M_RANGE,
+                s,
+            )
+        });
+        let mo = average_trials(tr, |s| {
+            pqbench(
+                || Mound::new_pto_with(MOUND_DEPTH, PtoPolicy::with_attempts(a)),
+                8,
+                ops,
+                PQ_RANGE,
+                s,
+            )
+        });
+        let b = average_trials(tr, |s| {
+            setbench(
+                || {
+                    Bst::with_policies(
+                        BstVariant::Pto2,
+                        PtoPolicy::with_attempts(a),
+                        PtoPolicy::with_attempts(a),
+                    )
+                },
+                8,
+                ops,
+                512,
+                0,
+                s,
+            )
+        });
+        // Abuse the threads column for the attempts axis.
+        t.push(a as usize, vec![mi, mo, b]);
+    }
+    t
+}
+
+/// Capacity ablation: shrink the prefix write-set cap until every prefix
+/// aborts — PTO must degrade gracefully to the lock-free baseline.
+pub fn ablation_capacity() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "ABLATION — BST PTO1 vs write-set capacity, 4 threads write-only (ops/ms)",
+        &["lockfree", "cap512", "cap8", "cap3", "cap1"],
+    );
+    let lf = average_trials(tr, |s| {
+        setbench(|| Bst::new(BstVariant::LockFree), 4, ops, 512, 0, s)
+    });
+    let mut vals = vec![lf];
+    for cap in [512usize, 8, 3, 1] {
+        let v = average_trials(tr, |s| {
+            setbench(
+                || {
+                    Bst::with_policies(
+                        BstVariant::Pto1,
+                        PtoPolicy::with_attempts(4).with_write_cap(cap),
+                        PtoPolicy::with_attempts(4),
+                    )
+                },
+                4,
+                ops,
+                512,
+                0,
+                s,
+            )
+        });
+        vals.push(v);
+    }
+    t.push(4, vals);
+    t
+}
+
+/// Granularity ablation (§3.1): PTO on the Mound's *entire* removal vs the
+/// paper's DCAS-local application. The paper found the whole-op version
+/// "not effective at any level of concurrency" (every removal conflicts at
+/// the root), while the local version wins — this harness measures both.
+pub fn ablation_granularity() -> Table {
+    use pto_core::policy::PtoStats;
+    use pto_core::PriorityQueue;
+    use pto_sim::rng::XorShift64;
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "ABLATION — PTO granularity on Mound removals, pqbench (ops/ms)",
+        &["lockfree", "pto-local(dcas)", "pto-whole-op"],
+    );
+    // A pqbench variant whose pops use the whole-op transactional path.
+    fn pq_whole(threads: usize, ops: u64, seed: u64) -> f64 {
+        use pto_sim::{ops_per_ms, Sim};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = Mound::new_lockfree(MOUND_DEPTH);
+        let policy = PtoPolicy::with_attempts(4);
+        let mut rng = XorShift64::new(seed ^ 0xFEED_F00D);
+        for _ in 0..PQ_RANGE / 2 {
+            q.push(rng.below(PQ_RANGE));
+        }
+        pto_sim::clock::reset();
+        let total = AtomicU64::new(0);
+        let out = Sim::new(threads).run(|lane| {
+            let stats = PtoStats::new();
+            let mut rng = XorShift64::new(seed.wrapping_add(lane as u64 * 0x85EB_CA6B + 1));
+            for _ in 0..ops {
+                if rng.chance(1, 2) {
+                    q.push(rng.below(PQ_RANGE));
+                } else {
+                    std::hint::black_box(q.pop_min_whole(&policy, &stats));
+                }
+            }
+            total.fetch_add(ops, Ordering::Relaxed);
+        });
+        ops_per_ms(total.load(std::sync::atomic::Ordering::Relaxed), out.makespan)
+    }
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| {
+            pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s)
+        });
+        let local = average_trials(tr, |s| {
+            pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s)
+        });
+        let whole = average_trials(tr, |s| pq_whole(n, ops, s));
+        t.push(n, vec![lf, local, whole]);
+    }
+    t
+}
+
+/// EXTRA experiment: flat combining vs lock-free vs PTO on a search
+/// structure — §6's related-work claim ("combining techniques do not
+/// perform well on search data structures ... our technique can").
+pub fn extra_fc() -> Table {
+    use crate::baselines::FcSet;
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "EXTRA-FC — flat combining vs lock-free/PTO BST, setbench range=512 lookup=34% (ops/ms)",
+        &["tree-lf", "tree-pto", "flat-combining"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| {
+            setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, 34, s)
+        });
+        let pt = average_trials(tr, |s| {
+            setbench(|| Bst::new(BstVariant::Pto1Pto2), n, ops, 512, 34, s)
+        });
+        let fc = average_trials(tr, |s| setbench(FcSet::new, n, ops, 512, 34, s));
+        t.push(n, vec![lf, pt, fc]);
+    }
+    t
+}
+
+/// EXTRA experiment: the Michael–Scott queue of §2.3 — PTO elides hazard
+/// maintenance and double-checking, and fuses the tail swing.
+pub fn extra_queue() -> Table {
+    use crate::drivers::fifobench;
+    use pto_msqueue::MsQueue;
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "EXTRA-Q — Michael–Scott queue fifobench (ops/ms)",
+        &["lockfree", "pto"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| fifobench(MsQueue::new_lockfree, n, ops, 256, s));
+        let pt = average_trials(tr, |s| fifobench(MsQueue::new_pto, n, ops, 256, s));
+        t.push(n, vec![lf, pt]);
+    }
+    t
+}
+
+/// EXTRA experiment: Harris list at two PTO granularities (§2.5's
+/// trade-off on the §2.3 marking structure). Range 128 (lists are O(n)).
+pub fn extra_list() -> Table {
+    use pto_list::{HarrisList, ListVariant};
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "EXTRA-L — Harris list setbench range=128 lookup=34% (ops/ms)",
+        &["lockfree", "pto-whole", "pto-update"],
+    );
+    for &n in &THREADS {
+        let lf = average_trials(tr, |s| {
+            setbench(|| HarrisList::new(ListVariant::LockFree), n, ops, 128, 34, s)
+        });
+        let w = average_trials(tr, |s| {
+            setbench(|| HarrisList::new(ListVariant::PtoWhole), n, ops, 128, 34, s)
+        });
+        let u = average_trials(tr, |s| {
+            setbench(|| HarrisList::new(ListVariant::PtoUpdate), n, ops, 128, 34, s)
+        });
+        t.push(n, vec![lf, w, u]);
+    }
+    t
+}
+
+/// Helping-avoidance ablation (§2.4): explicit-abort-to-fallback (the
+/// paper's choice, `stop_on_permanent = true`) vs burning all retries on
+/// permanent aborts, under heavy contention (range 16).
+pub fn ablation_help() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "ABLATION — §2.4 abort-on-help policy, skiplist range=16 write-only (ops/ms)",
+        &["abort-to-fallback", "retry-anyway"],
+    );
+    for &n in &[2usize, 4, 8] {
+        let smart = average_trials(tr, |s| {
+            setbench(SkipListSet::new_pto, n, ops, 16, 0, s)
+        });
+        let stubborn = average_trials(tr, |s| {
+            setbench(
+                || {
+                    let mut p = PtoPolicy::with_attempts(3);
+                    p.stop_on_permanent = false;
+                    SkipListSet::new_pto_with(p)
+                },
+                n,
+                ops,
+                16,
+                0,
+                s,
+            )
+        });
+        t.push(n, vec![smart, stubborn]);
+    }
+    t
+}

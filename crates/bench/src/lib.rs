@@ -1,0 +1,47 @@
+//! # pto-bench — the paper's microbenchmarks, regenerated (§4.1)
+//!
+//! Three drivers, matching §4.1 exactly:
+//!
+//! * [`setbench`] — each simulated thread repeatedly invokes a lookup or an
+//!   update (equal chance insert/remove) on a random key within range;
+//! * [`pqbench`] — repeated 50/50 push(random)/pop;
+//! * [`mbench`] — repeated arrive(random) followed by depart.
+//!
+//! Workloads run under the `pto-sim` virtual-time gate: 1–8 logical
+//! threads overlap in virtual time on this single-core host, conflicts and
+//! aborts arise from real interleavings, and throughput is reported as
+//! ops/ms at the paper's 3.4 GHz. Like the paper, each data point averages
+//! several trials (default 3; `PTO_BENCH_TRIALS` overrides, the paper used
+//! 5) of `PTO_BENCH_OPS` operations per thread (default 2000).
+//!
+//! One binary per figure (`fig2a` … `fig5c`), plus the tuning/ablation
+//! harnesses (`retry_sweep`, `ablation_capacity`, `ablation_help`) and
+//! `run_all`, which regenerates everything and writes CSVs under
+//! `results/`.
+
+pub mod baselines;
+pub mod drivers;
+pub mod figs;
+pub mod report;
+
+pub use drivers::{mbench, pqbench, setbench, PqFactory, SetFactory};
+pub use report::{average_trials, Row, Table};
+
+/// Threads axis of every figure in the paper.
+pub const THREADS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Per-thread operations per trial.
+pub fn ops_per_thread() -> u64 {
+    std::env::var("PTO_BENCH_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000)
+}
+
+/// Trials averaged per data point (paper: 5).
+pub fn trials() -> u32 {
+    std::env::var("PTO_BENCH_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}

@@ -1,0 +1,169 @@
+//! Table formatting and CSV output for the figure harnesses.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One x-axis point: a thread count plus the throughput of every series.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub threads: usize,
+    pub values: Vec<f64>,
+}
+
+/// A figure: named series over the threads axis.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub title: String,
+    pub series: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(title: &str, series: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, threads: usize, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len());
+        self.rows.push(Row { threads, values });
+    }
+
+    /// Render an aligned text table with ratio columns against the first
+    /// series (the lock-free baseline in every figure).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:>8}", "threads");
+        for s in &self.series {
+            let _ = write!(out, "{s:>16}");
+        }
+        for s in self.series.iter().skip(1) {
+            let _ = write!(out, "{:>12}", format!("{}/{}", short(s), short(&self.series[0])));
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:>8}", r.threads);
+            for v in &r.values {
+                let _ = write!(out, "{v:>16.0}");
+            }
+            let base = r.values[0];
+            for v in r.values.iter().skip(1) {
+                let ratio = if base > 0.0 { v / base } else { 0.0 };
+                let _ = write!(out, "{ratio:>12.2}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// A compact unicode chart: one sparkline per series, scaled to the
+    /// table's global maximum — enough to eyeball the figure's shape in a
+    /// terminal.
+    pub fn sparklines(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|r| r.values.iter().copied())
+            .fold(0.0f64, f64::max);
+        let mut out = String::new();
+        if max <= 0.0 {
+            return out;
+        }
+        let width = self.series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(out, "{s:>width$} ");
+            for r in &self.rows {
+                let lvl = ((r.values[i] / max) * 7.0).round() as usize;
+                out.push(BARS[lvl.min(7)]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Write `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<()> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        write!(f, "threads")?;
+        for s in &self.series {
+            write!(f, ",{s}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{}", r.threads)?;
+            for v in &r.values {
+                write!(f, ",{v:.1}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn short(s: &str) -> String {
+    s.chars().take(6).collect()
+}
+
+/// Run `f` `trials` times and return the mean (the paper averages 5
+/// trials per point).
+pub fn average_trials(trials: u32, mut f: impl FnMut(u64) -> f64) -> f64 {
+    let mut sum = 0.0;
+    for t in 0..trials {
+        sum += f(t as u64 + 1);
+    }
+    sum / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_ratios() {
+        let mut t = Table::new("FIG-X", &["lockfree", "pto"]);
+        t.push(1, vec![100.0, 150.0]);
+        t.push(8, vec![200.0, 600.0]);
+        let s = t.render();
+        assert!(s.contains("FIG-X"));
+        assert!(s.contains("1.50"));
+        assert!(s.contains("3.00"));
+    }
+
+    #[test]
+    fn sparklines_scale_to_max() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(1, vec![10.0, 80.0]);
+        t.push(2, vec![20.0, 40.0]);
+        let s = t.sparklines();
+        assert!(s.contains('█'), "max value should hit the top bar");
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn sparklines_empty_for_zero_data() {
+        let mut t = Table::new("x", &["a"]);
+        t.push(1, vec![0.0]);
+        assert!(t.sparklines().is_empty());
+    }
+
+    #[test]
+    fn average_trials_averages() {
+        let v = average_trials(4, |t| t as f64);
+        assert!((v - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_wrong_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(1, vec![1.0]);
+    }
+}

@@ -1,0 +1,1116 @@
+//! # pto-bst — Ellen et al. nonblocking BST with composable PTO (§3.2, §4.4)
+//!
+//! The baseline is the leaf-oriented (external) nonblocking binary search
+//! tree of Ellen, Fatourou, Ruppert and van Breugel (PODC'10): internal
+//! nodes hold routing keys and exactly two children; leaves hold the set's
+//! keys. Updates coordinate through per-internal-node `update` words that
+//! hold a state (`CLEAN`/`IFLAG`/`DFLAG`/`MARK`) and a pointer to an *Info
+//! descriptor* allocated by the operation, enabling helping: an insert
+//! flags the parent, swings the child pointer, and unflags; a delete flags
+//! the grandparent, *marks* the parent (permanently), prunes parent+leaf,
+//! and unflags.
+//!
+//! Three PTO applications, exactly the paper's (§3.2, §4.4):
+//!
+//! * **PTO1** — the whole operation (search + update) in one prefix
+//!   transaction. The Info descriptor is never allocated: the transaction's
+//!   atomicity replaces the flag/unflag protocol (the update word's version
+//!   counter is still bumped so concurrent fallback snapshots invalidate).
+//!   A removed parent is marked with a **statically-allocated dummy
+//!   descriptor** — the one state the original algorithm never cleans up,
+//!   so it cannot be elided (§3.2). Lookups run unpinned: transactional
+//!   opacity subsumes epoch protection (§4.5).
+//! * **PTO2** — only the update phase runs transactionally; the search
+//!   phase stays outside (epoch-pinned, paying the baseline's fences), in
+//!   exchange for a much smaller conflict window.
+//! * **PTO1+PTO2** — the §2.5 composition: 2 attempts of PTO1, then 16 of
+//!   PTO2 inside its fallback, then the untouched lock-free code.
+//!
+//! Keys are `u32` with `u32::MAX` reserved as the +∞ sentinel.
+
+use pto_core::policy::{pto, PtoPolicy, PtoStats};
+use pto_core::ConcurrentSet;
+use pto_htm::{TxResult, TxWord, Txn};
+use pto_mem::epoch::{self, Guard};
+use pto_mem::{Pool, NIL};
+use pto_sim::{charge_n, CostKind};
+use std::sync::atomic::Ordering;
+
+/// +∞ routing sentinel.
+const INF: u32 = u32::MAX;
+/// "No node" in child words.
+const NIL_LINK: u64 = NIL as u64;
+/// The statically-allocated dummy descriptor index (§3.2): marks parents
+/// removed by a committed prefix transaction.
+const DUMMY_INFO: u32 = u32::MAX - 1;
+
+// update word layout: [count:28][info:32][state:2]
+const ST_CLEAN: u64 = 0;
+const ST_IFLAG: u64 = 1;
+const ST_DFLAG: u64 = 2;
+const ST_MARK: u64 = 3;
+
+#[inline]
+fn up_pack(state: u64, info: u32, count: u64) -> u64 {
+    debug_assert!(state < 4);
+    (count & ((1 << 28) - 1)) << 34 | (info as u64) << 2 | state
+}
+
+#[inline]
+fn up_state(w: u64) -> u64 {
+    w & 3
+}
+
+#[inline]
+fn up_info(w: u64) -> u32 {
+    (w >> 2) as u32
+}
+
+#[inline]
+fn up_count(w: u64) -> u64 {
+    w >> 34
+}
+
+/// CLEAN with a bumped version: invalidates every snapshot of the old word.
+#[inline]
+fn clean_bump(w: u64) -> u64 {
+    up_pack(ST_CLEAN, NIL, up_count(w) + 1)
+}
+
+/// A tree node; leaves have `NIL` children. Slots are recycled through the
+/// epoch-deferred pool.
+pub struct BstNode {
+    key: TxWord,
+    left: TxWord,
+    right: TxWord,
+    update: TxWord,
+}
+
+impl Default for BstNode {
+    fn default() -> Self {
+        BstNode {
+            key: TxWord::new(0),
+            left: TxWord::new(NIL_LINK),
+            right: TxWord::new(NIL_LINK),
+            update: TxWord::new(up_pack(ST_CLEAN, NIL, 0)),
+        }
+    }
+}
+
+/// An operation descriptor (Ellen et al.'s IInfo/DInfo), enabling helping.
+/// Fields are plain atomics (descriptors are never accessed inside prefix
+/// transactions); reads/writes are charged explicitly.
+#[derive(Default)]
+pub struct Info {
+    /// 0 = insert, 1 = delete.
+    kind: TxWord,
+    gp: TxWord,
+    p: TxWord,
+    l: TxWord,
+    ni: TxWord,
+    pupdate: TxWord,
+    /// The DFLAG word installed at gp (lets MARK observers finish the job).
+    dword: TxWord,
+    gp_slot: TxWord,
+    p_slot: TxWord,
+}
+
+/// Result of one update attempt.
+enum Attempt {
+    Present,
+    Absent,
+    Inserted,
+    Deleted { p: u32, l: u32 },
+    Stale,
+}
+
+/// Search snapshot: leaf, parent, grandparent, their update words, and
+/// which child slot each path edge used (0 = left, 1 = right).
+#[derive(Clone, Copy, Debug)]
+struct Snap {
+    gp: u32,
+    p: u32,
+    l: u32,
+    gpu: u64,
+    pu: u64,
+    gp_slot: u64,
+    p_slot: u64,
+}
+
+/// Which PTO configuration a [`Bst`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BstVariant {
+    /// The untouched Ellen et al. algorithm.
+    LockFree,
+    /// Whole-operation prefix transactions.
+    Pto1,
+    /// Update-phase-only prefix transactions.
+    Pto2,
+    /// PTO1 (2 attempts) composed over PTO2 (16 attempts) — §4.4.
+    Pto1Pto2,
+}
+
+/// The set. See crate docs; construct via [`Bst::new`].
+pub struct Bst {
+    nodes: Pool<BstNode>,
+    infos: Pool<Info>,
+    variant: BstVariant,
+    p1: PtoPolicy,
+    p2: PtoPolicy,
+    /// Outer (PTO1 / whole-op) path statistics.
+    pub stats1: PtoStats,
+    /// Inner (PTO2 / update-phase) path statistics.
+    pub stats2: PtoStats,
+    grandroot: u32,
+}
+
+impl Bst {
+    /// A BST running `variant` with the paper's retry thresholds
+    /// (PTO1: 4 standalone / 2 composed; PTO2: 4 standalone / 16 composed).
+    pub fn new(variant: BstVariant) -> Self {
+        let (a1, a2) = match variant {
+            BstVariant::Pto1Pto2 => (2, 16),
+            _ => (4, 4),
+        };
+        Self::with_policies(
+            variant,
+            PtoPolicy::with_attempts(a1),
+            PtoPolicy::with_attempts(a2),
+        )
+    }
+
+    /// Full control over both policies (retry sweeps, fence ablation).
+    pub fn with_policies(variant: BstVariant, p1: PtoPolicy, p2: PtoPolicy) -> Self {
+        let nodes: Pool<BstNode> = Pool::new();
+        // grandroot(∞) -> root(∞) -> [leaf(∞), leaf(∞)]; all real keys
+        // route left of both sentinels, so every real leaf has an internal
+        // parent *and* grandparent.
+        let grandroot = nodes.alloc();
+        let root = nodes.alloc();
+        let l0 = nodes.alloc();
+        let l1 = nodes.alloc();
+        let r2 = nodes.alloc();
+        for &l in &[l0, l1, r2] {
+            let n = nodes.get(l);
+            n.key.init(INF as u64);
+            n.left.init(NIL_LINK);
+            n.right.init(NIL_LINK);
+            n.update.init(up_pack(ST_CLEAN, NIL, 0));
+        }
+        let g = nodes.get(grandroot);
+        g.key.init(INF as u64);
+        g.left.init(root as u64);
+        g.right.init(r2 as u64);
+        g.update.init(up_pack(ST_CLEAN, NIL, 0));
+        let r = nodes.get(root);
+        r.key.init(INF as u64);
+        r.left.init(l0 as u64);
+        r.right.init(l1 as u64);
+        r.update.init(up_pack(ST_CLEAN, NIL, 0));
+        Bst {
+            nodes,
+            infos: Pool::new(),
+            variant,
+            p1,
+            p2,
+            stats1: PtoStats::new(),
+            stats2: PtoStats::new(),
+            grandroot,
+        }
+    }
+
+    #[inline]
+    fn node(&self, i: u32) -> &BstNode {
+        self.nodes.get(i)
+    }
+
+    #[inline]
+    fn child_word(&self, n: u32, slot: u64) -> &TxWord {
+        if slot == 0 {
+            &self.node(n).left
+        } else {
+            &self.node(n).right
+        }
+    }
+
+    #[inline]
+    fn is_leaf(&self, n: u32) -> bool {
+        self.node(n).left.load(Ordering::Acquire) == NIL_LINK
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-free baseline
+    // ------------------------------------------------------------------
+
+    /// The search phase: returns leaf, parent, grandparent and their update
+    /// snapshots. Requires an epoch guard (traverses shared nodes).
+    fn search(&self, k: u32, _g: &Guard) -> Snap {
+        let mut gp;
+        let mut gpu;
+        let mut gp_slot;
+        let mut p = self.grandroot;
+        let mut pu = self.node(p).update.load(Ordering::Acquire);
+        let mut p_slot = 0u64;
+        let mut l = self.node(p).left.load(Ordering::Acquire) as u32;
+        loop {
+            // First iteration: l is the root internal node, so we always
+            // execute at least once and gp is always initialized.
+            gp = p;
+            gpu = pu;
+            gp_slot = p_slot;
+            p = l;
+            pu = self.node(p).update.load(Ordering::Acquire);
+            let pk = self.node(p).key.load(Ordering::Acquire) as u32;
+            p_slot = if k < pk { 0 } else { 1 };
+            l = self.child_word(p, p_slot).load(Ordering::Acquire) as u32;
+            if self.is_leaf(l) {
+                return Snap {
+                    gp,
+                    p,
+                    l,
+                    gpu,
+                    pu,
+                    gp_slot,
+                    p_slot,
+                };
+            }
+        }
+    }
+
+    fn lf_lookup(&self, k: u32, _g: &Guard) -> bool {
+        let mut n = self.node(self.grandroot).left.load(Ordering::Acquire) as u32;
+        loop {
+            let nk = self.node(n).key.load(Ordering::Acquire) as u32;
+            let left = self.node(n).left.load(Ordering::Acquire);
+            if left == NIL_LINK {
+                return nk == k;
+            }
+            n = if k < nk {
+                left as u32
+            } else {
+                self.node(n).right.load(Ordering::Acquire) as u32
+            };
+        }
+    }
+
+    /// Fill the preallocated internal+leaf pair for an insertion of `k`
+    /// next to leaf `l` whose key is `lk` (private nodes; published only by
+    /// the link write).
+    fn configure_insert_nodes(&self, k: u32, lk: u32, l: u32, ni: u32, nl: u32) {
+        debug_assert_ne!(lk, k);
+        let leaf = self.node(nl);
+        leaf.key.init(k as u64);
+        leaf.left.init(NIL_LINK);
+        leaf.right.init(NIL_LINK);
+        leaf.update.init(up_pack(ST_CLEAN, NIL, 0));
+        let internal = self.node(ni);
+        internal.update.init(up_pack(ST_CLEAN, NIL, 0));
+        if k < lk {
+            internal.key.init(lk as u64);
+            internal.left.init(nl as u64);
+            internal.right.init(l as u64);
+        } else {
+            internal.key.init(k as u64);
+            internal.left.init(l as u64);
+            internal.right.init(nl as u64);
+        }
+    }
+
+    fn help(&self, w: u64) {
+        match up_state(w) {
+            ST_IFLAG => self.help_insert(up_info(w), w),
+            ST_DFLAG => {
+                self.help_delete(up_info(w));
+            }
+            ST_MARK => {
+                let i = up_info(w);
+                if i != DUMMY_INFO {
+                    // A marked parent of an in-flight delete: finish the
+                    // prune. (Dummy marks are already fully removed.)
+                    self.help_marked(i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn help_insert(&self, i: u32, iword: u64) {
+        let info = self.infos.get(i);
+        charge_n(CostKind::SharedLoad, 4);
+        let p = info.p.load(Ordering::Acquire) as u32;
+        let l = info.l.load(Ordering::Acquire);
+        let ni = info.ni.load(Ordering::Acquire);
+        let slot = info.p_slot.load(Ordering::Acquire);
+        // ichild then iunflag; both CASes are idempotent across helpers.
+        let _ = self.child_word(p, slot).compare_exchange(l, ni, Ordering::SeqCst);
+        let _ = self
+            .node(p)
+            .update
+            .compare_exchange(iword, clean_bump(iword), Ordering::SeqCst);
+    }
+
+    /// Returns true if the delete went through (marked + pruned), false if
+    /// it had to back off (the parent changed under the flag).
+    fn help_delete(&self, i: u32) -> bool {
+        let info = self.infos.get(i);
+        charge_n(CostKind::SharedLoad, 4);
+        let p = info.p.load(Ordering::Acquire) as u32;
+        let pupdate = info.pupdate.load(Ordering::Acquire);
+        let dword = info.dword.load(Ordering::Acquire);
+        let gp = info.gp.load(Ordering::Acquire) as u32;
+        let markword = up_pack(ST_MARK, i, up_count(pupdate) + 1);
+        let res = self
+            .node(p)
+            .update
+            .compare_exchange(pupdate, markword, Ordering::SeqCst);
+        let now = self.node(p).update.load(Ordering::Acquire);
+        if res.is_ok() || now == markword {
+            self.help_marked(i);
+            true
+        } else {
+            // Backtrack: unflag the grandparent so others can proceed.
+            let _ = self
+                .node(gp)
+                .update
+                .compare_exchange(dword, clean_bump(dword), Ordering::SeqCst);
+            false
+        }
+    }
+
+    fn help_marked(&self, i: u32) {
+        let info = self.infos.get(i);
+        charge_n(CostKind::SharedLoad, 5);
+        let gp = info.gp.load(Ordering::Acquire) as u32;
+        let p = info.p.load(Ordering::Acquire) as u32;
+        let dword = info.dword.load(Ordering::Acquire);
+        let gp_slot = info.gp_slot.load(Ordering::Acquire);
+        let p_slot = info.p_slot.load(Ordering::Acquire);
+        // The parent is marked: its children are frozen, the sibling read
+        // is stable.
+        let sibling = self.child_word(p, 1 - p_slot).load(Ordering::Acquire);
+        let _ = self
+            .child_word(gp, gp_slot)
+            .compare_exchange(p as u64, sibling, Ordering::SeqCst);
+        let _ = self
+            .node(gp)
+            .update
+            .compare_exchange(dword, clean_bump(dword), Ordering::SeqCst);
+    }
+
+    fn lf_insert_attempt(&self, k: u32, s: &Snap, ni: u32, nl: u32) -> Attempt {
+        let lk = self.node(s.l).key.load(Ordering::Acquire) as u32;
+        if lk == k {
+            return Attempt::Present;
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            self.help(s.pu);
+            return Attempt::Stale;
+        }
+        self.configure_insert_nodes(k, lk, s.l, ni, nl);
+        let i = self.infos.alloc();
+        let info = self.infos.get(i);
+        charge_n(CostKind::SharedStore, 4);
+        info.kind.init(0);
+        info.p.init(s.p as u64);
+        info.l.init(s.l as u64);
+        info.ni.init(ni as u64);
+        info.p_slot.init(s.p_slot);
+        let iword = up_pack(ST_IFLAG, i, up_count(s.pu) + 1);
+        if self
+            .node(s.p)
+            .update
+            .compare_exchange(s.pu, iword, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.help_insert(i, iword);
+            self.infos.retire(i);
+            Attempt::Inserted
+        } else {
+            self.infos.free_now(i);
+            Attempt::Stale
+        }
+    }
+
+    fn lf_delete_attempt(&self, k: u32, s: &Snap) -> Attempt {
+        if self.node(s.l).key.load(Ordering::Acquire) as u32 != k {
+            return Attempt::Absent;
+        }
+        if up_state(s.gpu) != ST_CLEAN {
+            self.help(s.gpu);
+            return Attempt::Stale;
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            self.help(s.pu);
+            return Attempt::Stale;
+        }
+        let i = self.infos.alloc();
+        let info = self.infos.get(i);
+        charge_n(CostKind::SharedStore, 7);
+        info.kind.init(1);
+        info.gp.init(s.gp as u64);
+        info.p.init(s.p as u64);
+        info.l.init(s.l as u64);
+        info.pupdate.init(s.pu);
+        info.gp_slot.init(s.gp_slot);
+        info.p_slot.init(s.p_slot);
+        let dword = up_pack(ST_DFLAG, i, up_count(s.gpu) + 1);
+        info.dword.init(dword);
+        if self
+            .node(s.gp)
+            .update
+            .compare_exchange(s.gpu, dword, Ordering::SeqCst)
+            .is_ok()
+        {
+            if self.help_delete(i) {
+                self.infos.retire(i);
+                Attempt::Deleted { p: s.p, l: s.l }
+            } else {
+                self.infos.retire(i);
+                Attempt::Stale
+            }
+        } else {
+            self.infos.free_now(i);
+            Attempt::Stale
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix transactions
+    // ------------------------------------------------------------------
+
+    /// Transactional search (PTO1): same walk through transactional reads;
+    /// aborts on conflict like any prefix.
+    fn tx_search<'e>(&'e self, tx: &mut Txn<'e>, k: u32) -> TxResult<Snap> {
+        let mut gp;
+        let mut gpu;
+        let mut gp_slot;
+        let mut p = self.grandroot;
+        let mut pu = tx.read(&self.node(p).update)?;
+        let mut p_slot = 0u64;
+        let mut l = tx.read(&self.node(p).left)? as u32;
+        loop {
+            gp = p;
+            gpu = pu;
+            gp_slot = p_slot;
+            p = l;
+            pu = tx.read(&self.node(p).update)?;
+            let pk = tx.read(&self.node(p).key)? as u32;
+            p_slot = if k < pk { 0 } else { 1 };
+            l = tx.read(self.child_word(p, p_slot))? as u32;
+            if tx.read(&self.node(l).left)? == NIL_LINK {
+                return Ok(Snap {
+                    gp,
+                    p,
+                    l,
+                    gpu,
+                    pu,
+                    gp_slot,
+                    p_slot,
+                });
+            }
+        }
+    }
+
+    /// PTO1 insert: whole operation in one transaction. No Info descriptor
+    /// is allocated (§3.2) — the update word's counter bump replaces the
+    /// flag/unflag round trip.
+    fn tx_insert_whole<'e>(&'e self, tx: &mut Txn<'e>, k: u32, ni: u32, nl: u32) -> TxResult<Attempt> {
+        let s = self.tx_search(tx, k)?;
+        let lk = tx.read(&self.node(s.l).key)? as u32;
+        if lk == k {
+            return Ok(Attempt::Present);
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            return Err(tx.abort(pto_core::ABORT_HELP));
+        }
+        self.configure_insert_nodes(k, lk, s.l, ni, nl);
+        tx.write(self.child_word(s.p, s.p_slot), ni as u64)?;
+        tx.fence();
+        tx.write(&self.node(s.p).update, clean_bump(s.pu))?;
+        tx.fence();
+        Ok(Attempt::Inserted)
+    }
+
+    /// PTO1 delete: mark the parent with the dummy descriptor, prune, bump
+    /// the grandparent's update version — all atomically.
+    fn tx_delete_whole<'e>(&'e self, tx: &mut Txn<'e>, k: u32) -> TxResult<Attempt> {
+        let s = self.tx_search(tx, k)?;
+        let lk = tx.read(&self.node(s.l).key)? as u32;
+        if lk != k {
+            return Ok(Attempt::Absent);
+        }
+        if up_state(s.gpu) != ST_CLEAN || up_state(s.pu) != ST_CLEAN {
+            return Err(tx.abort(pto_core::ABORT_HELP));
+        }
+        let sibling = tx.read(self.child_word(s.p, 1 - s.p_slot))?;
+        tx.write(self.child_word(s.gp, s.gp_slot), sibling)?;
+        tx.fence();
+        tx.write(&self.node(s.gp).update, clean_bump(s.gpu))?;
+        tx.fence();
+        tx.write(
+            &self.node(s.p).update,
+            up_pack(ST_MARK, DUMMY_INFO, up_count(s.pu) + 1),
+        )?;
+        tx.fence();
+        Ok(Attempt::Deleted { p: s.p, l: s.l })
+    }
+
+    /// PTO1 lookup: transactional traversal, no epoch interaction at all.
+    fn tx_lookup<'e>(&'e self, tx: &mut Txn<'e>, k: u32) -> TxResult<bool> {
+        let mut n = tx.read(&self.node(self.grandroot).left)? as u32;
+        loop {
+            let nk = tx.read(&self.node(n).key)? as u32;
+            let left = tx.read(&self.node(n).left)?;
+            if left == NIL_LINK {
+                return Ok(nk == k);
+            }
+            n = if k < nk {
+                left as u32
+            } else {
+                tx.read(&self.node(n).right)? as u32
+            };
+        }
+    }
+
+    /// PTO2 insert: validate the (non-transactional) search snapshot, then
+    /// perform just the update phase transactionally.
+    fn tx_insert_update<'e>(&'e self, tx: &mut Txn<'e>, s: &Snap, ni: u32) -> TxResult<Attempt> {
+        let pu_now = tx.read(&self.node(s.p).update)?;
+        if pu_now != s.pu {
+            return Ok(Attempt::Stale);
+        }
+        let cw = tx.read(self.child_word(s.p, s.p_slot))?;
+        if cw != s.l as u64 {
+            return Ok(Attempt::Stale);
+        }
+        tx.write(self.child_word(s.p, s.p_slot), ni as u64)?;
+        tx.fence();
+        tx.write(&self.node(s.p).update, clean_bump(s.pu))?;
+        tx.fence();
+        Ok(Attempt::Inserted)
+    }
+
+    /// PTO2 delete: validate gp/p snapshots and the gp→p edge, then prune.
+    fn tx_delete_update<'e>(&'e self, tx: &mut Txn<'e>, s: &Snap) -> TxResult<Attempt> {
+        let gpu_now = tx.read(&self.node(s.gp).update)?;
+        let pu_now = tx.read(&self.node(s.p).update)?;
+        if gpu_now != s.gpu || pu_now != s.pu {
+            return Ok(Attempt::Stale);
+        }
+        let edge = tx.read(self.child_word(s.gp, s.gp_slot))?;
+        if edge != s.p as u64 {
+            return Ok(Attempt::Stale);
+        }
+        let sibling = tx.read(self.child_word(s.p, 1 - s.p_slot))?;
+        tx.write(self.child_word(s.gp, s.gp_slot), sibling)?;
+        tx.fence();
+        tx.write(&self.node(s.gp).update, clean_bump(s.gpu))?;
+        tx.fence();
+        tx.write(
+            &self.node(s.p).update,
+            up_pack(ST_MARK, DUMMY_INFO, up_count(s.pu) + 1),
+        )?;
+        tx.fence();
+        Ok(Attempt::Deleted { p: s.p, l: s.l })
+    }
+
+    // ------------------------------------------------------------------
+    // Drivers
+    // ------------------------------------------------------------------
+
+    /// One insert attempt through the PTO2 pipeline (search outside,
+    /// update phase transactional, lock-free fallback).
+    fn pto2_insert_attempt(&self, k: u32, ni: u32, nl: u32) -> Attempt {
+        let g = epoch::pin();
+        let s = self.search(k, &g);
+        let lk = self.node(s.l).key.load(Ordering::Acquire) as u32;
+        if lk == k {
+            return Attempt::Present;
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            self.help(s.pu);
+            return Attempt::Stale;
+        }
+        self.configure_insert_nodes(k, lk, s.l, ni, nl);
+        pto(
+            &self.p2,
+            &self.stats2,
+            |tx| self.tx_insert_update(tx, &s, ni),
+            || self.lf_insert_attempt(k, &s, ni, nl),
+        )
+    }
+
+    fn pto2_delete_attempt(&self, k: u32) -> Attempt {
+        let g = epoch::pin();
+        let s = self.search(k, &g);
+        if self.node(s.l).key.load(Ordering::Acquire) as u32 != k {
+            return Attempt::Absent;
+        }
+        if up_state(s.gpu) != ST_CLEAN {
+            self.help(s.gpu);
+            return Attempt::Stale;
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            self.help(s.pu);
+            return Attempt::Stale;
+        }
+        pto(
+            &self.p2,
+            &self.stats2,
+            |tx| self.tx_delete_update(tx, &s),
+            || self.lf_delete_attempt(k, &s),
+        )
+    }
+
+    fn lf_insert_loop(&self, k: u32, ni: u32, nl: u32) -> Attempt {
+        let g = epoch::pin();
+        loop {
+            let s = self.search(k, &g);
+            match self.lf_insert_attempt(k, &s, ni, nl) {
+                Attempt::Stale => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn lf_delete_loop(&self, k: u32) -> Attempt {
+        let g = epoch::pin();
+        loop {
+            let s = self.search(k, &g);
+            match self.lf_delete_attempt(k, &s) {
+                Attempt::Stale => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn insert_impl(&self, k: u32) -> bool {
+        let nl = self.nodes.alloc();
+        let ni = self.nodes.alloc();
+        loop {
+            let attempt = match self.variant {
+                BstVariant::LockFree => self.lf_insert_loop(k, ni, nl),
+                BstVariant::Pto1 => pto(
+                    &self.p1,
+                    &self.stats1,
+                    |tx| self.tx_insert_whole(tx, k, ni, nl),
+                    || self.lf_insert_loop(k, ni, nl),
+                ),
+                BstVariant::Pto2 => self.pto2_insert_attempt(k, ni, nl),
+                BstVariant::Pto1Pto2 => pto(
+                    &self.p1,
+                    &self.stats1,
+                    |tx| self.tx_insert_whole(tx, k, ni, nl),
+                    || self.pto2_insert_attempt(k, ni, nl),
+                ),
+            };
+            match attempt {
+                Attempt::Inserted => return true,
+                Attempt::Present => {
+                    self.nodes.free_now(nl);
+                    self.nodes.free_now(ni);
+                    return false;
+                }
+                Attempt::Stale => continue,
+                _ => unreachable!("insert cannot produce delete outcomes"),
+            }
+        }
+    }
+
+    fn remove_impl(&self, k: u32) -> bool {
+        loop {
+            let attempt = match self.variant {
+                BstVariant::LockFree => self.lf_delete_loop(k),
+                BstVariant::Pto1 => pto(
+                    &self.p1,
+                    &self.stats1,
+                    |tx| self.tx_delete_whole(tx, k),
+                    || self.lf_delete_loop(k),
+                ),
+                BstVariant::Pto2 => self.pto2_delete_attempt(k),
+                BstVariant::Pto1Pto2 => pto(
+                    &self.p1,
+                    &self.stats1,
+                    |tx| self.tx_delete_whole(tx, k),
+                    || self.pto2_delete_attempt(k),
+                ),
+            };
+            match attempt {
+                Attempt::Deleted { p, l } => {
+                    self.nodes.retire(p);
+                    self.nodes.retire(l);
+                    return true;
+                }
+                Attempt::Absent => return false,
+                Attempt::Stale => continue,
+                _ => unreachable!("delete cannot produce insert outcomes"),
+            }
+        }
+    }
+
+    fn contains_impl(&self, k: u32) -> bool {
+        match self.variant {
+            BstVariant::LockFree | BstVariant::Pto2 => {
+                let g = epoch::pin();
+                self.lf_lookup(k, &g)
+            }
+            BstVariant::Pto1 | BstVariant::Pto1Pto2 => pto(
+                &self.p1,
+                &self.stats1,
+                |tx| self.tx_lookup(tx, k),
+                || {
+                    let g = epoch::pin();
+                    self.lf_lookup(k, &g)
+                },
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (tests / diagnostics; quiescent-only)
+    // ------------------------------------------------------------------
+
+    /// Walk the tree checking the external-BST shape: every internal node
+    /// has two children; in-order leaves are strictly sorted; every key in
+    /// a left subtree is < the routing key ≤ every key in the right.
+    pub fn check_structure(&self) -> Result<(), String> {
+        let mut leaves = Vec::new();
+        self.walk(
+            self.node(self.grandroot).left.load(Ordering::Relaxed) as u32,
+            0,
+            INF,
+            &mut leaves,
+        )?;
+        for w in leaves.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("leaves out of order: {} then {}", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
+
+    fn walk(&self, n: u32, lo: u32, hi: u32, leaves: &mut Vec<u32>) -> Result<(), String> {
+        let key = self.node(n).key.load(Ordering::Relaxed) as u32;
+        let left = self.node(n).left.load(Ordering::Relaxed);
+        let right = self.node(n).right.load(Ordering::Relaxed);
+        if left == NIL_LINK {
+            if right != NIL_LINK {
+                return Err(format!("half-leaf node {n}"));
+            }
+            if key != INF {
+                if !(lo <= key && key < hi) {
+                    return Err(format!("leaf {key} outside ({lo}, {hi})"));
+                }
+                leaves.push(key);
+            }
+            return Ok(());
+        }
+        if right == NIL_LINK {
+            return Err(format!("internal {n} missing right child"));
+        }
+        // Routing invariant: left subtree < key ≤ right subtree.
+        self.walk(left as u32, lo, key.min(hi), leaves)?;
+        self.walk(right as u32, key.max(lo), hi, leaves)
+    }
+}
+
+fn check_key(key: u64) -> u32 {
+    assert!(key < INF as u64, "BST keys must be < 2^32 - 1");
+    key as u32
+}
+
+impl ConcurrentSet for Bst {
+    fn insert(&self, key: u64) -> bool {
+        self.insert_impl(check_key(key))
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.remove_impl(check_key(key))
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.contains_impl(check_key(key))
+    }
+
+    fn len(&self) -> usize {
+        let mut leaves = Vec::new();
+        self.walk(
+            self.node(self.grandroot).left.load(Ordering::Relaxed) as u32,
+            0,
+            INF,
+            &mut leaves,
+        )
+        .expect("structure invalid");
+        leaves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pto_sim::rng::XorShift64;
+    use std::collections::BTreeSet;
+
+    const VARIANTS: [BstVariant; 4] = [
+        BstVariant::LockFree,
+        BstVariant::Pto1,
+        BstVariant::Pto2,
+        BstVariant::Pto1Pto2,
+    ];
+
+    #[test]
+    fn set_semantics_all_variants() {
+        for v in VARIANTS {
+            let t = Bst::new(v);
+            assert!(!t.contains(5), "{v:?}");
+            assert!(t.insert(5), "{v:?}");
+            assert!(!t.insert(5), "{v:?} duplicate");
+            assert!(t.contains(5), "{v:?}");
+            assert!(t.insert(3) && t.insert(9) && t.insert(7), "{v:?}");
+            assert_eq!(t.len(), 4, "{v:?}");
+            assert!(t.remove(5), "{v:?}");
+            assert!(!t.remove(5), "{v:?} double remove");
+            assert!(!t.contains(5), "{v:?}");
+            assert!(t.contains(3) && t.contains(9) && t.contains(7), "{v:?}");
+            t.check_structure().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_tree_operations() {
+        for v in VARIANTS {
+            let t = Bst::new(v);
+            assert!(!t.remove(1), "{v:?}");
+            assert!(!t.contains(0), "{v:?}");
+            assert_eq!(t.len(), 0);
+            t.check_structure().unwrap();
+        }
+    }
+
+    #[test]
+    fn key_zero_and_near_sentinel() {
+        let t = Bst::new(BstVariant::LockFree);
+        assert!(t.insert(0));
+        assert!(t.insert((INF - 1) as u64));
+        assert!(t.contains(0));
+        assert!(t.contains((INF - 1) as u64));
+        assert!(t.remove(0));
+        assert!(t.contains((INF - 1) as u64));
+        t.check_structure().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "keys must be")]
+    fn rejects_sentinel_key() {
+        Bst::new(BstVariant::LockFree).insert(u64::MAX);
+    }
+
+    #[test]
+    fn oracle_all_variants() {
+        for v in VARIANTS {
+            let t = Bst::new(v);
+            let mut oracle = BTreeSet::new();
+            let mut rng = XorShift64::new(7 + v as u64);
+            for _ in 0..3_000 {
+                let k = rng.below(150);
+                match rng.below(3) {
+                    0 => assert_eq!(t.insert(k), oracle.insert(k), "{v:?} insert {k}"),
+                    1 => assert_eq!(t.remove(k), oracle.remove(&k), "{v:?} remove {k}"),
+                    _ => assert_eq!(t.contains(k), oracle.contains(&k), "{v:?} contains {k}"),
+                }
+            }
+            assert_eq!(t.len(), oracle.len(), "{v:?}");
+            t.check_structure().unwrap();
+        }
+    }
+
+    fn concurrent_stress(t: &Bst, nthreads: usize, ops: usize, range: u64) {
+        std::thread::scope(|sc| {
+            for th in 0..nthreads {
+                let t = &t;
+                sc.spawn(move || {
+                    let mut rng = XorShift64::new((th as u64 + 1) * 6271);
+                    for _ in 0..ops {
+                        let k = rng.below(range);
+                        match rng.below(4) {
+                            0 | 1 => {
+                                t.insert(k);
+                            }
+                            2 => {
+                                t.remove(k);
+                            }
+                            _ => {
+                                t.contains(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        t.check_structure().unwrap();
+    }
+
+    #[test]
+    fn concurrent_stress_lockfree() {
+        let t = Bst::new(BstVariant::LockFree);
+        concurrent_stress(&t, 4, 2_000, 100);
+    }
+
+    #[test]
+    fn concurrent_stress_pto1() {
+        let t = Bst::new(BstVariant::Pto1);
+        concurrent_stress(&t, 4, 2_000, 100);
+        assert!(t.stats1.fast.get() > 0);
+    }
+
+    #[test]
+    fn concurrent_stress_pto2() {
+        let t = Bst::new(BstVariant::Pto2);
+        concurrent_stress(&t, 4, 2_000, 100);
+        assert!(t.stats2.fast.get() > 0);
+    }
+
+    #[test]
+    fn concurrent_stress_composed() {
+        let t = Bst::new(BstVariant::Pto1Pto2);
+        concurrent_stress(&t, 4, 2_000, 100);
+    }
+
+    #[test]
+    fn concurrent_distinct_ranges_all_present() {
+        let t = Bst::new(BstVariant::Pto1Pto2);
+        std::thread::scope(|sc| {
+            for th in 0..4u64 {
+                let t = &t;
+                sc.spawn(move || {
+                    for k in (th * 400)..((th + 1) * 400) {
+                        assert!(t.insert(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 1_600);
+        for k in 0..1_600 {
+            assert!(t.contains(k), "lost {k}");
+        }
+        t.check_structure().unwrap();
+    }
+
+    #[test]
+    fn concurrent_exclusive_remove() {
+        use std::sync::atomic::AtomicU64;
+        let t = Bst::new(BstVariant::Pto1);
+        for k in 0..400 {
+            t.insert(k);
+        }
+        let wins = AtomicU64::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let t = &t;
+                let wins = &wins;
+                sc.spawn(move || {
+                    for k in 0..400 {
+                        if t.remove(k) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 400);
+        assert_eq!(t.len(), 0);
+        t.check_structure().unwrap();
+    }
+
+    #[test]
+    fn mixed_variants_share_nothing_but_semantics() {
+        // Two trees with different variants given identical op sequences
+        // end in identical abstract states.
+        let a = Bst::new(BstVariant::LockFree);
+        let b = Bst::new(BstVariant::Pto1Pto2);
+        let mut rng = XorShift64::new(4242);
+        for _ in 0..2_000 {
+            let k = rng.below(100);
+            if rng.chance(1, 2) {
+                assert_eq!(a.insert(k), b.insert(k));
+            } else {
+                assert_eq!(a.remove(k), b.remove(k));
+            }
+        }
+        for k in 0..100 {
+            assert_eq!(a.contains(k), b.contains(k), "diverged at {k}");
+        }
+    }
+
+    #[test]
+    fn pto1_lookup_elides_epoch_cost() {
+        // §4.5: the PTO'd lookup drops the epoch pin/unpin (two stores, two
+        // fences), which the transaction boundaries undercut.
+        let lf = Bst::new(BstVariant::LockFree);
+        let p1 = Bst::new(BstVariant::Pto1);
+        for k in (0..512).step_by(2) {
+            lf.insert(k);
+            p1.insert(k);
+        }
+        pto_sim::clock::reset();
+        for k in 0..512 {
+            lf.contains(k);
+        }
+        let lf_cost = pto_sim::now();
+        pto_sim::clock::reset();
+        for k in 0..512 {
+            p1.contains(k);
+        }
+        let p1_cost = pto_sim::now();
+        assert!(
+            p1_cost < lf_cost,
+            "PTO1 lookup ({p1_cost}) should beat lock-free ({lf_cost})"
+        );
+    }
+
+    #[test]
+    fn pto1_updates_elide_descriptor_allocation() {
+        // §4.4/§4.6: eliminating Info allocation and the flag protocol is
+        // the big win on the write path — expect a sizable modeled gap.
+        let lf = Bst::new(BstVariant::LockFree);
+        let p1 = Bst::new(BstVariant::Pto1);
+        pto_sim::clock::reset();
+        for k in 0..400 {
+            lf.insert(k % 97);
+            lf.remove(k % 97);
+        }
+        let lf_cost = pto_sim::now();
+        pto_sim::clock::reset();
+        for k in 0..400 {
+            p1.insert(k % 97);
+            p1.remove(k % 97);
+        }
+        let p1_cost = pto_sim::now();
+        assert!(
+            (p1_cost as f64) < 0.8 * lf_cost as f64,
+            "PTO1 updates ({p1_cost}) should be well under lock-free ({lf_cost})"
+        );
+    }
+
+    #[test]
+    fn zero_attempt_policies_degrade_to_lockfree() {
+        let t = Bst::with_policies(
+            BstVariant::Pto1Pto2,
+            PtoPolicy::with_attempts(0),
+            PtoPolicy::with_attempts(0),
+        );
+        let mut oracle = BTreeSet::new();
+        let mut rng = XorShift64::new(99);
+        for _ in 0..1_000 {
+            let k = rng.below(64);
+            if rng.chance(1, 2) {
+                assert_eq!(t.insert(k), oracle.insert(k));
+            } else {
+                assert_eq!(t.remove(k), oracle.remove(&k));
+            }
+        }
+        assert_eq!(t.stats1.fast.get(), 0);
+        assert_eq!(t.stats2.fast.get(), 0);
+        t.check_structure().unwrap();
+    }
+}

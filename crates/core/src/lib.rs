@@ -1,0 +1,42 @@
+//! # pto-core — the Prefix Transaction Optimization framework
+//!
+//! The paper's contribution (§2): given a superblock `B` of a nonblocking
+//! operation, the Prefix Transaction Transformation produces
+//!
+//! ```text
+//! TxBegin ──ok──▶ optimized prefix T_B ──TxEnd──▶ done
+//!    │
+//!    └─abort──▶ (retry up to `attempts`) ──▶ original lock-free code B
+//! ```
+//!
+//! which preserves the original progress guarantee (Theorem 3: bounded
+//! attempts, then the untouched fallback) and composes recursively
+//! (§2.5: `T_B(T_A(G))` — attempt a large prefix, then a smaller one inside
+//! its fallback, then the original code).
+//!
+//! This crate provides:
+//!
+//! * [`policy`] — [`PtoPolicy`] (retry budget, fence mode, capacities),
+//!   the [`pto`]/[`pto2`] executors, and per-structure [`PtoStats`];
+//! * [`kcas`] — software DCSS and DCAS (Harris-style, with helping) plus
+//!   their PTO-accelerated fronts: the paper's "apply PTO locally to the
+//!   DCAS/DCSS sub-operations" granularity (§3.1, Mound);
+//! * [`tle`] — transactional lock elision over a single global lock, the
+//!   baseline of Figure 2(a);
+//! * [`traits`] — the abstract object interfaces the benchmarks drive
+//!   (set, priority queue, quiescence/Mindicator).
+
+pub mod fc;
+pub mod kcas;
+pub mod policy;
+pub mod tle;
+pub mod traits;
+
+pub use policy::{pto, pto2, PtoPolicy, PtoStats};
+pub use traits::{ConcurrentSet, PriorityQueue, Quiescence};
+
+/// Explicit-abort code used by prefix transactions that observe a state
+/// requiring *helping* (an installed descriptor, a marked node): per §2.4
+/// the transaction aborts instead of helping, both as an ad-hoc backoff and
+/// to keep intermediate states out of the fast path.
+pub const ABORT_HELP: u8 = 0x7E;

@@ -1,0 +1,356 @@
+//! Retry policies and the PTO executors.
+
+use pto_htm::{transaction_with, AbortCause, FenceMode, TxOpts, TxResult, Txn};
+use pto_sim::stats::Counter;
+
+/// How a PTO'd operation attempts its prefix transaction before falling
+/// back to the original lock-free code.
+///
+/// The paper tunes `attempts` per structure: 3 for the Mindicator (§3.1),
+/// 4 for the Mound's DCAS (§4.2), 2 (outer) + 16 (inner) for the composed
+/// BST (§4.4).
+#[derive(Clone, Copy, Debug)]
+pub struct PtoPolicy {
+    /// Maximum prefix attempts before the fallback runs.
+    pub attempts: u32,
+    /// Stop retrying early on aborts that cannot succeed on retry
+    /// (capacity, explicit). Conflicts always consume retries.
+    pub stop_on_permanent: bool,
+    /// Transaction options (capacities, fence elision ablation).
+    pub opts: TxOpts,
+}
+
+impl PtoPolicy {
+    /// `attempts` prefix tries, default capacities, fences elided.
+    pub fn with_attempts(attempts: u32) -> Self {
+        PtoPolicy {
+            attempts,
+            stop_on_permanent: true,
+            opts: TxOpts::default(),
+        }
+    }
+
+    /// The Figure 5(b)/(c) ablation: keep (charge) the original algorithm's
+    /// fences inside the prefix instead of eliding them.
+    pub fn keep_fences(mut self) -> Self {
+        self.opts.fence_mode = FenceMode::Keep;
+        self
+    }
+
+    /// Override the write-set capacity (capacity-sensitivity ablation).
+    pub fn with_write_cap(mut self, cap: usize) -> Self {
+        self.opts.write_cap = cap;
+        self
+    }
+
+    /// Failure injection: spontaneously abort `pct`% of prefix attempts
+    /// ([`pto_htm::AbortCause::Spurious`]) to exercise fallback paths the
+    /// way flaky best-effort hardware would.
+    pub fn with_chaos(mut self, pct: u8) -> Self {
+        self.opts.chaos_abort_pct = pct;
+        self
+    }
+}
+
+impl Default for PtoPolicy {
+    fn default() -> Self {
+        PtoPolicy::with_attempts(3)
+    }
+}
+
+/// Per-structure (or per-callsite) PTO outcome counters.
+#[derive(Default, Debug)]
+pub struct PtoStats {
+    /// Operations completed by a committed prefix transaction.
+    pub fast: Counter,
+    /// Prefix attempts that aborted (any cause).
+    pub aborted_attempts: Counter,
+    /// Operations that ran the lock-free fallback.
+    pub fallback: Counter,
+}
+
+impl PtoStats {
+    pub const fn new() -> Self {
+        PtoStats {
+            fast: Counter::new(),
+            aborted_attempts: Counter::new(),
+            fallback: Counter::new(),
+        }
+    }
+
+    /// Fraction of operations completed on the fast path, in [0,1].
+    pub fn fast_rate(&self) -> f64 {
+        let f = self.fast.get();
+        let total = f + self.fallback.get();
+        if total == 0 {
+            0.0
+        } else {
+            f as f64 / total as f64
+        }
+    }
+
+    pub fn reset(&self) {
+        self.fast.reset();
+        self.aborted_attempts.reset();
+        self.fallback.reset();
+    }
+}
+
+/// Execute one PTO'd superblock: attempt `prefix` as a transaction up to
+/// `policy.attempts` times, then run `fallback` (the original lock-free
+/// code). This is the Prefix Transaction Transformation of Definition 1
+/// with the retry recursion of §2.5 flattened into a loop.
+///
+/// ```
+/// use pto_core::policy::{pto, PtoPolicy, PtoStats};
+/// use pto_htm::TxWord;
+///
+/// let counter = TxWord::new(0);
+/// let stats = PtoStats::new();
+/// let v = pto(
+///     &PtoPolicy::with_attempts(3),
+///     &stats,
+///     // The optimized prefix: CAS becomes read + write.
+///     |tx| {
+///         let v = tx.read(&counter)?;
+///         tx.write(&counter, v + 1)?;
+///         Ok(v + 1)
+///     },
+///     // The original lock-free code, untouched.
+///     || counter.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1,
+/// );
+/// assert_eq!(v, 1);
+/// assert_eq!(stats.fast.get(), 1); // uncontended ⇒ fast path
+/// ```
+pub fn pto<'e, T>(
+    policy: &PtoPolicy,
+    stats: &PtoStats,
+    mut prefix: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+    fallback: impl FnOnce() -> T,
+) -> T {
+    for _ in 0..policy.attempts {
+        match transaction_with(policy.opts, &mut prefix) {
+            Ok(v) => {
+                stats.fast.inc();
+                return v;
+            }
+            Err(cause) => {
+                stats.aborted_attempts.inc();
+                if policy.stop_on_permanent && !cause.retry_hint() {
+                    break;
+                }
+                if cause == AbortCause::Nested {
+                    break;
+                }
+            }
+        }
+    }
+    stats.fallback.inc();
+    fallback()
+}
+
+/// Hierarchical composition `T_B(T_A(G))` (§2.5): attempt the large prefix
+/// `outer`; inside its fallback, attempt the smaller prefix `inner`; only
+/// if both budgets are exhausted does the original code run. Figure 5(a)'s
+/// PTO1+PTO2 uses 2 outer and 16 inner attempts.
+pub fn pto2<'e, T>(
+    outer_policy: &PtoPolicy,
+    inner_policy: &PtoPolicy,
+    outer_stats: &PtoStats,
+    inner_stats: &PtoStats,
+    outer: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+    inner: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+    fallback: impl FnOnce() -> T,
+) -> T {
+    pto(outer_policy, outer_stats, outer, || {
+        pto(inner_policy, inner_stats, inner, fallback)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pto_htm::TxWord;
+
+    #[test]
+    fn fast_path_wins_when_uncontended() {
+        let w = TxWord::new(0);
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(3);
+        let v = pto(
+            &policy,
+            &stats,
+            |tx| {
+                tx.write(&w, 1)?;
+                Ok("fast")
+            },
+            || "slow",
+        );
+        assert_eq!(v, "fast");
+        assert_eq!(stats.fast.get(), 1);
+        assert_eq!(stats.fallback.get(), 0);
+        assert_eq!(w.peek(), 1);
+    }
+
+    #[test]
+    fn explicit_abort_goes_straight_to_fallback() {
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(5);
+        let v = pto(
+            &policy,
+            &stats,
+            |tx| -> TxResult<&str> { Err(tx.abort(crate::ABORT_HELP)) },
+            || "slow",
+        );
+        assert_eq!(v, "slow");
+        // Permanent abort: exactly one attempt, not five.
+        assert_eq!(stats.aborted_attempts.get(), 1);
+        assert_eq!(stats.fallback.get(), 1);
+    }
+
+    #[test]
+    fn capacity_abort_is_permanent() {
+        let words: Vec<TxWord> = (0..32).map(TxWord::new).collect();
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(4).with_write_cap(4);
+        let v = pto(
+            &policy,
+            &stats,
+            |tx| {
+                for w in &words {
+                    tx.write(w, 1)?;
+                }
+                Ok(true)
+            },
+            || false,
+        );
+        assert!(!v);
+        assert_eq!(stats.aborted_attempts.get(), 1);
+    }
+
+    #[test]
+    fn zero_attempts_always_falls_back() {
+        let w = TxWord::new(0);
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(0);
+        let v = pto(&policy, &stats, |tx| tx.read(&w), || 99);
+        assert_eq!(v, 99);
+        assert_eq!(stats.fast.get(), 0);
+        assert_eq!(stats.fallback.get(), 1);
+    }
+
+    #[test]
+    fn fallback_preserves_progress_under_doomed_prefix() {
+        // A prefix that always explicitly aborts must never prevent the
+        // operation from completing (Theorem 3's structure).
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(3);
+        for i in 0..100 {
+            let v = pto(
+                &policy,
+                &stats,
+                |tx| -> TxResult<u64> { Err(tx.abort(1)) },
+                || i,
+            );
+            assert_eq!(v, i);
+        }
+        assert_eq!(stats.fallback.get(), 100);
+    }
+
+    #[test]
+    fn pto2_orders_outer_inner_fallback() {
+        use std::cell::RefCell;
+        let order = RefCell::new(Vec::new());
+        let s1 = PtoStats::new();
+        let s2 = PtoStats::new();
+        let v = pto2(
+            &PtoPolicy::with_attempts(2),
+            &PtoPolicy::with_attempts(3),
+            &s1,
+            &s2,
+            |tx| -> TxResult<&str> {
+                order.borrow_mut().push("outer");
+                Err(tx.abort(1))
+            },
+            |tx| -> TxResult<&str> {
+                order.borrow_mut().push("inner");
+                Err(tx.abort(1))
+            },
+            || {
+                order.borrow_mut().push("fallback");
+                "done"
+            },
+        );
+        assert_eq!(v, "done");
+        // Explicit aborts are permanent: one outer try, one inner try.
+        assert_eq!(*order.borrow(), vec!["outer", "inner", "fallback"]);
+    }
+
+    #[test]
+    fn pto2_inner_can_succeed_after_outer_fails() {
+        let w = TxWord::new(0);
+        let s1 = PtoStats::new();
+        let s2 = PtoStats::new();
+        let v = pto2(
+            &PtoPolicy::with_attempts(2),
+            &PtoPolicy::with_attempts(16),
+            &s1,
+            &s2,
+            |tx| -> TxResult<u64> { Err(tx.abort(1)) },
+            |tx| {
+                tx.write(&w, 7)?;
+                Ok(7)
+            },
+            || unreachable!("inner should have committed"),
+        );
+        assert_eq!(v, 7);
+        assert_eq!(w.peek(), 7);
+        assert_eq!(s1.fallback.get(), 1); // outer fell through
+        assert_eq!(s2.fast.get(), 1); // inner committed
+    }
+
+    #[test]
+    fn fast_rate_reflects_path_mix() {
+        let stats = PtoStats::new();
+        stats.fast.add(3);
+        stats.fallback.add(1);
+        assert!((stats.fast_rate() - 0.75).abs() < 1e-12);
+        stats.reset();
+        assert_eq!(stats.fast_rate(), 0.0);
+    }
+
+    #[test]
+    fn conflicts_consume_all_attempts() {
+        // Simulate persistent conflict by having another thread hammer the
+        // word; eventually attempts exhaust and fallback runs at least once
+        // across many operations.
+        let w = TxWord::new(0);
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(2);
+        let stop_flag = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let stop = &stop_flag;
+            let wref = &w;
+            s.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    wref.store(1, std::sync::atomic::Ordering::Release);
+                }
+            });
+            for _ in 0..3000 {
+                pto(
+                    &policy,
+                    &stats,
+                    |tx| {
+                        let v = tx.read(wref)?;
+                        std::hint::spin_loop();
+                        tx.write(wref, v + 1)?;
+                        Ok(())
+                    },
+                    || (),
+                );
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(stats.fast.get() + stats.fallback.get(), 3000);
+    }
+}

@@ -1,0 +1,61 @@
+//! Abstract object interfaces driven by the microbenchmarks (§4.1).
+//!
+//! Keys/values are `u64` with the top two bits reserved (see
+//! [`crate::kcas`] tags); workloads use small ranges (512 / 64K), far
+//! inside the valid space.
+
+/// A set of `u64` keys: the interface of setbench (§4.1) and of the
+/// skiplist set, BST and hash table.
+pub trait ConcurrentSet: Sync {
+    /// Insert `key`; returns `true` if the set changed (key was absent).
+    fn insert(&self, key: u64) -> bool;
+    /// Remove `key`; returns `true` if the set changed (key was present).
+    fn remove(&self, key: u64) -> bool;
+    /// Membership test (the paper's `lookup`).
+    fn contains(&self, key: u64) -> bool;
+    /// Number of keys (test/diagnostic helper; not necessarily atomic with
+    /// respect to concurrent updates).
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A min-priority queue of `u64` keys: the interface of pqbench (§4.1) and
+/// of the Mound and the Lotan–Shavit skiplist queue.
+pub trait PriorityQueue: Sync {
+    /// Insert a key.
+    fn push(&self, key: u64);
+    /// Remove and return the minimum key, or `None` when empty.
+    fn pop_min(&self) -> Option<u64>;
+    /// Current minimum without removing it, or `None` when empty.
+    fn peek_min(&self) -> Option<u64>;
+}
+
+/// A multi-producer multi-consumer FIFO queue (the Michael–Scott queue's
+/// interface; §2.3 uses its double-checking as a PTO motivating example).
+pub trait FifoQueue: Sync {
+    /// Append a value at the tail.
+    fn enqueue(&self, value: u64);
+    /// Remove and return the head value, or `None` when empty.
+    fn dequeue(&self) -> Option<u64>;
+}
+
+/// Sentinel returned by [`Quiescence::query`] when no thread is arrived.
+pub const IDLE: u64 = u64::MAX;
+
+/// A quiescence/aggregation object: the interface of mbench (§4.1) and of
+/// the Mindicator, which tracks the minimum over every thread's current
+/// value.
+pub trait Quiescence: Sync {
+    /// Announce that the calling thread is active with `value`.
+    fn arrive(&self, value: u64);
+    /// Announce that the calling thread is no longer active.
+    fn depart(&self);
+    /// The minimum value over all currently arrived threads, or
+    /// [`Quiescence::IDLE`] when none are arrived.
+    fn query(&self) -> u64;
+
+    /// Sentinel returned by `query` when no thread is arrived.
+    const IDLE: u64 = IDLE;
+}

@@ -1,0 +1,209 @@
+//! `TxBegin`/`TxEnd` execution: one best-effort attempt per call.
+//!
+//! [`transaction`] is the analogue of the paper's `TxBegin ... TxEnd`
+//! bracket: the closure body is the transaction; returning `Ok` commits;
+//! any `Err` (conflict, capacity, explicit `tx.abort(code)`) rolls back and
+//! reports the cause, exactly like `TxBegin` "returning more than once"
+//! with a status word. Retrying is the caller's decision — the PTO
+//! executor in `pto-core` implements the retry/fallback policy.
+
+use crate::stats;
+use crate::txn::{AbortCause, FenceMode, Txn};
+use crate::TxResult;
+use pto_sim::{charge, CostKind};
+use std::cell::Cell;
+
+/// Per-attempt configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TxOpts {
+    /// Max distinct orecs readable before a `Capacity` abort.
+    pub read_cap: usize,
+    /// Max buffered writes before a `Capacity` abort (TSX's write set is
+    /// L1-bound; 512 word-writes is the same order of magnitude).
+    pub write_cap: usize,
+    /// Fence elision toggle for the Figure 5(b)/(c) ablation.
+    pub fence_mode: FenceMode,
+    /// Failure injection: percentage (0–100) of attempts spontaneously
+    /// aborted at commit time with [`AbortCause::Spurious`]. Real
+    /// best-effort HTM fails for reasons invisible to the program
+    /// (interrupts, cache geometry); tests use this to drive every
+    /// fallback path.
+    pub chaos_abort_pct: u8,
+}
+
+impl Default for TxOpts {
+    fn default() -> Self {
+        TxOpts {
+            read_cap: 8192,
+            write_cap: 512,
+            fence_mode: FenceMode::Elide,
+            chaos_abort_pct: 0,
+        }
+    }
+}
+
+thread_local! {
+    static IN_TXN: Cell<bool> = const { Cell::new(false) };
+    static CHAOS_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cheap per-thread xorshift draw for failure injection.
+fn chaos_strikes(pct: u8) -> bool {
+    CHAOS_RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            x = &CHAOS_RNG as *const _ as u64 | 1;
+        }
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        c.set(x);
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 57) < (pct as u64 * 128 / 100)
+    })
+}
+
+struct NestGuard;
+
+impl Drop for NestGuard {
+    fn drop(&mut self) {
+        IN_TXN.with(|f| f.set(false));
+    }
+}
+
+/// Run one best-effort transaction attempt with default options.
+///
+/// ```
+/// use pto_htm::{transaction, TxWord};
+///
+/// let a = TxWord::new(1);
+/// let b = TxWord::new(2);
+/// // Swap two words atomically; no observer can see a half-swap.
+/// let sum = transaction(|tx| {
+///     let x = tx.read(&a)?;
+///     let y = tx.read(&b)?;
+///     tx.write(&a, y)?;
+///     tx.write(&b, x)?;
+///     Ok(x + y)
+/// })
+/// .expect("uncontended transactions commit");
+/// assert_eq!(sum, 3);
+/// assert_eq!((a.peek(), b.peek()), (2, 1));
+/// ```
+pub fn transaction<'e, T>(
+    f: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+) -> Result<T, AbortCause> {
+    transaction_with(TxOpts::default(), f)
+}
+
+/// Run one best-effort transaction attempt.
+///
+/// Returns `Ok(value)` if the body ran to completion and the commit
+/// published its writes atomically; otherwise returns the abort cause and
+/// guarantees no effect on shared memory.
+pub fn transaction_with<'e, T>(
+    opts: TxOpts,
+    mut f: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+) -> Result<T, AbortCause> {
+    // This HTM does not nest (real RTM nests by flattening; none of the
+    // paper's prefixes need it). An inner TxBegin aborts like an
+    // unsupported instruction would.
+    let already = IN_TXN.with(|fl| fl.replace(true));
+    if already {
+        stats::record_abort(AbortCause::Nested);
+        return Err(AbortCause::Nested);
+    }
+    let _guard = NestGuard;
+
+    charge(CostKind::TxBegin);
+    stats::record_begin();
+    let mut tx = Txn::new(crate::orec::gvc_now(), opts.fence_mode, opts.read_cap, opts.write_cap);
+    match f(&mut tx) {
+        Ok(_) if opts.chaos_abort_pct > 0 && chaos_strikes(opts.chaos_abort_pct) => {
+            charge(CostKind::TxAbort);
+            stats::record_abort(AbortCause::Spurious);
+            Err(AbortCause::Spurious)
+        }
+        Ok(val) => match tx.commit() {
+            Ok(()) => {
+                stats::record_commit();
+                Ok(val)
+            }
+            Err(cause) => {
+                charge(CostKind::TxAbort);
+                stats::record_abort(cause);
+                Err(cause)
+            }
+        },
+        Err(abort) => {
+            charge(CostKind::TxAbort);
+            stats::record_abort(abort.cause);
+            Err(abort.cause)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxWord;
+
+    #[test]
+    fn nested_transactions_abort_with_nested() {
+        let w = TxWord::new(0);
+        let r = transaction(|tx| {
+            tx.read(&w)?;
+            let inner: Result<(), AbortCause> = transaction(|tx2| {
+                tx2.read(&w)?;
+                Ok(())
+            });
+            assert_eq!(inner.unwrap_err(), AbortCause::Nested);
+            Ok(())
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn nesting_flag_clears_after_abort() {
+        let w = TxWord::new(0);
+        let r: Result<(), _> = transaction(|tx| Err(tx.abort(1)));
+        assert!(r.is_err());
+        // A fresh transaction must not be treated as nested.
+        assert!(transaction(|tx| tx.read(&w)).is_ok());
+    }
+
+    #[test]
+    fn nesting_flag_clears_after_panic() {
+        let w = TxWord::new(0);
+        let _ = std::panic::catch_unwind(|| {
+            let _ = transaction::<()>(|_| panic!("boom"));
+        });
+        assert!(transaction(|tx| tx.read(&w)).is_ok());
+    }
+
+    #[test]
+    fn stats_track_commits_and_aborts() {
+        let w = TxWord::new(0);
+        let before = crate::snapshot();
+        let _ = transaction(|tx| tx.read(&w));
+        let _: Result<(), _> = transaction(|tx| Err(tx.abort(9)));
+        let after = crate::snapshot();
+        assert_eq!(after.commits - before.commits, 1);
+        assert_eq!(after.aborts_explicit - before.aborts_explicit, 1);
+        assert!(after.begins - before.begins >= 2);
+    }
+
+    #[test]
+    fn transaction_charges_begin_and_end() {
+        use pto_sim::cost;
+        let w = TxWord::new(0);
+        pto_sim::clock::reset();
+        let _ = transaction(|tx| tx.read(&w));
+        let total = pto_sim::now();
+        assert_eq!(
+            total,
+            cost::cycles(pto_sim::CostKind::TxBegin)
+                + cost::cycles(pto_sim::CostKind::TxLoad)
+                + cost::cycles(pto_sim::CostKind::TxEnd)
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Ownership records and the global version clock (TL2-style).
+//!
+//! Every [`TxWord`](crate::TxWord) hashes (by address) to one ownership
+//! record in a fixed global table. An orec packs a version number and a lock
+//! bit: `orec = (version << 1) | locked`. The global version clock advances
+//! on every commit and every non-transactional write, giving transactions a
+//! begin-time snapshot (`rv`) to validate reads against.
+//!
+//! Hash collisions between unrelated words produce *false* conflicts —
+//! exactly the behaviour of cache-set aliasing in a real HTM, and harmless
+//! for correctness (a spurious abort just routes to the fallback).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the orec table size. 2^16 records ≈ the conflict-detection
+/// granularity of a real L1-based HTM over a large heap.
+pub(crate) const OREC_BITS: u32 = 16;
+const OREC_COUNT: usize = 1 << OREC_BITS;
+
+/// The global version clock. Starts at 0; every writing commit and every
+/// non-transactional store draws a fresh version with [`gvc_bump`].
+static GVC: AtomicU64 = AtomicU64::new(0);
+
+/// The ownership-record table. A `Box` leaked once at startup; orecs are
+/// word-sized so this is 512 KiB.
+fn table() -> &'static [AtomicU64] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[AtomicU64]>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..OREC_COUNT).map(|_| AtomicU64::new(0)).collect())
+}
+
+/// Current value of the global version clock.
+#[inline]
+pub(crate) fn gvc_now() -> u64 {
+    GVC.load(Ordering::Acquire)
+}
+
+/// Draw a fresh, unique version.
+#[inline]
+pub(crate) fn gvc_bump() -> u64 {
+    GVC.fetch_add(1, Ordering::AcqRel) + 1
+}
+
+/// The orec an address maps to. Fibonacci hashing of the word address.
+#[inline]
+pub(crate) fn orec_for(addr: usize) -> &'static AtomicU64 {
+    let h = ((addr >> 3) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &table()[(h >> (64 - OREC_BITS)) as usize]
+}
+
+/// Index form of [`orec_for`], used by read/write sets.
+#[inline]
+pub(crate) fn orec_index(addr: usize) -> usize {
+    let h = ((addr >> 3) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - OREC_BITS)) as usize
+}
+
+#[inline]
+pub(crate) fn orec_at(index: usize) -> &'static AtomicU64 {
+    &table()[index]
+}
+
+#[inline]
+pub(crate) fn is_locked(orec_val: u64) -> bool {
+    orec_val & 1 == 1
+}
+
+#[inline]
+pub(crate) fn version_of(orec_val: u64) -> u64 {
+    orec_val >> 1
+}
+
+#[inline]
+pub(crate) fn make_version(version: u64) -> u64 {
+    version << 1
+}
+
+#[inline]
+pub(crate) fn make_locked(orec_val: u64) -> u64 {
+    orec_val | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gvc_is_monotone_and_unique() {
+        let a = gvc_bump();
+        let b = gvc_bump();
+        assert!(b > a);
+        assert!(gvc_now() >= b);
+    }
+
+    #[test]
+    fn encoding_roundtrips() {
+        let v = make_version(12345);
+        assert!(!is_locked(v));
+        assert_eq!(version_of(v), 12345);
+        let l = make_locked(v);
+        assert!(is_locked(l));
+        assert_eq!(version_of(l), 12345);
+    }
+
+    #[test]
+    fn distinct_addresses_usually_map_to_distinct_orecs() {
+        // Adjacent words should spread; identical addresses must collide.
+        let base = 0x1000usize;
+        assert_eq!(orec_index(base), orec_index(base));
+        let mut distinct = 0;
+        for i in 1..100 {
+            if orec_index(base + 8 * i) != orec_index(base) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 98, "hash spreads poorly: {distinct}/99");
+    }
+
+    #[test]
+    fn orec_for_and_index_agree() {
+        let addr = 0xDEAD_BEE8usize;
+        assert!(std::ptr::eq(orec_for(addr), orec_at(orec_index(addr))));
+    }
+}

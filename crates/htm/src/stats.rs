@@ -1,0 +1,119 @@
+//! Global HTM event statistics (begins, commits, aborts by cause).
+//!
+//! Counters are process-global; the benchmark harness resets them between
+//! configurations and reports commit/abort ratios alongside throughput,
+//! which is how the paper's retry thresholds were tuned (§3.1, §4.2).
+
+use crate::txn::AbortCause;
+use pto_sim::stats::Counter;
+
+static BEGINS: Counter = Counter::new();
+static COMMITS: Counter = Counter::new();
+static ABORT_CONFLICT: Counter = Counter::new();
+static ABORT_CAPACITY: Counter = Counter::new();
+static ABORT_EXPLICIT: Counter = Counter::new();
+static ABORT_NESTED: Counter = Counter::new();
+static ABORT_SPURIOUS: Counter = Counter::new();
+
+#[inline]
+pub(crate) fn record_begin() {
+    BEGINS.inc();
+}
+
+#[inline]
+pub(crate) fn record_commit() {
+    COMMITS.inc();
+}
+
+#[inline]
+pub(crate) fn record_abort(cause: AbortCause) {
+    match cause {
+        AbortCause::Conflict => ABORT_CONFLICT.inc(),
+        AbortCause::Capacity => ABORT_CAPACITY.inc(),
+        AbortCause::Explicit(_) => ABORT_EXPLICIT.inc(),
+        AbortCause::Nested => ABORT_NESTED.inc(),
+        AbortCause::Spurious => ABORT_SPURIOUS.inc(),
+    }
+}
+
+/// A point-in-time copy of the HTM counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HtmSnapshot {
+    pub begins: u64,
+    pub commits: u64,
+    pub aborts_conflict: u64,
+    pub aborts_capacity: u64,
+    pub aborts_explicit: u64,
+    pub aborts_nested: u64,
+    pub aborts_spurious: u64,
+}
+
+impl HtmSnapshot {
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_conflict
+            + self.aborts_capacity
+            + self.aborts_explicit
+            + self.aborts_nested
+            + self.aborts_spurious
+    }
+
+    /// Fraction of begun transactions that committed, in [0, 1].
+    pub fn commit_rate(&self) -> f64 {
+        if self.begins == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.begins as f64
+        }
+    }
+}
+
+/// Read the current counters.
+pub fn snapshot() -> HtmSnapshot {
+    HtmSnapshot {
+        begins: BEGINS.get(),
+        commits: COMMITS.get(),
+        aborts_conflict: ABORT_CONFLICT.get(),
+        aborts_capacity: ABORT_CAPACITY.get(),
+        aborts_explicit: ABORT_EXPLICIT.get(),
+        aborts_nested: ABORT_NESTED.get(),
+        aborts_spurious: ABORT_SPURIOUS.get(),
+    }
+}
+
+/// Zero all counters (benchmark harness use; racy with concurrent
+/// transactions by design — call between runs).
+pub fn reset() {
+    BEGINS.reset();
+    COMMITS.reset();
+    ABORT_CONFLICT.reset();
+    ABORT_CAPACITY.reset();
+    ABORT_EXPLICIT.reset();
+    ABORT_NESTED.reset();
+    ABORT_SPURIOUS.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_rate_handles_zero_begins() {
+        let s = HtmSnapshot::default();
+        assert_eq!(s.commit_rate(), 0.0);
+    }
+
+    #[test]
+    fn total_aborts_sums_causes() {
+        let s = HtmSnapshot {
+            begins: 10,
+            commits: 4,
+            aborts_conflict: 1,
+            aborts_capacity: 2,
+            aborts_explicit: 3,
+            aborts_nested: 0,
+            aborts_spurious: 0,
+        };
+        assert_eq!(s.total_aborts(), 6);
+        assert!((s.commit_rate() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,461 @@
+//! Transaction descriptors: read/write sets, validation, and commit.
+//!
+//! The protocol is TL2 with lazy versioning, restricted to word
+//! granularity:
+//!
+//! * **begin** — snapshot the global version clock into `rv`;
+//! * **read** — consistency-check the word's orec (`unlocked ∧ version ≤
+//!   rv ∧ stable across the value load`), else abort with `Conflict`;
+//! * **write** — buffer into the write set; reads see their own writes;
+//! * **commit** — try-lock the write orecs in sorted order (sorted order
+//!   makes committer-vs-committer collisions decide a winner instead of
+//!   mutually aborting), draw a write version, validate the read set,
+//!   publish the buffered values, release the orecs at the new version.
+//!
+//! Exceeding the configured read/write capacities aborts with `Capacity`,
+//! modeling the L1-bounded write set of a real best-effort HTM.
+
+use crate::orec;
+use crate::word::TxWord;
+use pto_sim::{charge, CostKind};
+use std::sync::atomic::Ordering;
+
+/// Why a transaction attempt failed — the RTM EAX status word, reified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// A conflicting access by a concurrent transaction or by
+    /// non-transactional code (strong atomicity).
+    Conflict,
+    /// The read or write set exceeded the best-effort capacity.
+    Capacity,
+    /// The program executed `TxAbort` with this 8-bit code (the paper uses
+    /// explicit aborts to bail out of helping paths, §2.4).
+    Explicit(u8),
+    /// `TxBegin` inside a running transaction (this HTM does not nest).
+    Nested,
+    /// A spontaneous best-effort failure (interrupts, ring transitions,
+    /// microcode whims — anything real TSX aborts on without setting
+    /// flags). Only produced under failure injection
+    /// ([`crate::TxOpts::chaos_abort_pct`]).
+    Spurious,
+}
+
+impl AbortCause {
+    /// RTM sets the "may succeed on retry" hint for conflicts (and clears
+    /// every flag on spontaneous aborts, which are also worth retrying);
+    /// capacity and explicit aborts are permanent.
+    pub fn retry_hint(self) -> bool {
+        matches!(self, AbortCause::Conflict | AbortCause::Spurious)
+    }
+}
+
+/// Error token carried out of a failed transactional step via `?`.
+/// Constructed by [`Txn::read`]/[`Txn::write`] on conflict/capacity and by
+/// [`Txn::abort`] for explicit aborts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    pub cause: AbortCause,
+}
+
+/// Result of a transactional step.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// Whether the prefix transaction elides the memory fences the original
+/// algorithm contained. `Elide` is the PTO default (§2.3); `Keep` is the
+/// ablation in Figures 5(b) and 5(c), where fence costs are still charged
+/// inside the transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FenceMode {
+    #[default]
+    Elide,
+    Keep,
+}
+
+struct WriteEntry<'e> {
+    word: &'e TxWord,
+    val: u64,
+    oidx: usize,
+}
+
+/// A running transaction. Created by [`crate::transaction`]; data-structure
+/// code interacts with it through `read`/`write`/`cas`/`fence`/`abort`.
+pub struct Txn<'e> {
+    rv: u64,
+    fence_mode: FenceMode,
+    read_cap: usize,
+    write_cap: usize,
+    reads: Vec<usize>,
+    writes: Vec<WriteEntry<'e>>,
+}
+
+impl<'e> Txn<'e> {
+    pub(crate) fn new(rv: u64, fence_mode: FenceMode, read_cap: usize, write_cap: usize) -> Self {
+        Txn {
+            rv,
+            fence_mode,
+            read_cap,
+            write_cap,
+            reads: Vec::with_capacity(16),
+            writes: Vec::with_capacity(8),
+        }
+    }
+
+    /// The fence mode this transaction runs under.
+    pub fn fence_mode(&self) -> FenceMode {
+        self.fence_mode
+    }
+
+    /// Transactional read. Returns the word's value in this transaction's
+    /// consistent snapshot, or aborts with `Conflict`/`Capacity`.
+    pub fn read(&mut self, word: &'e TxWord) -> TxResult<u64> {
+        charge(CostKind::TxLoad);
+        // Read-own-write.
+        if let Some(e) = self.writes.iter().rev().find(|e| std::ptr::eq(e.word, word)) {
+            return Ok(e.val);
+        }
+        let oidx = orec::orec_index(word.addr());
+        let o = orec::orec_at(oidx);
+        let v1 = o.load(Ordering::Acquire);
+        if orec::is_locked(v1) || orec::version_of(v1) > self.rv {
+            return Err(Abort {
+                cause: AbortCause::Conflict,
+            });
+        }
+        let val = word.cell.load(Ordering::Acquire);
+        let v2 = o.load(Ordering::Acquire);
+        if v1 != v2 {
+            return Err(Abort {
+                cause: AbortCause::Conflict,
+            });
+        }
+        if !self.reads.contains(&oidx) {
+            if self.reads.len() >= self.read_cap {
+                return Err(Abort {
+                    cause: AbortCause::Capacity,
+                });
+            }
+            self.reads.push(oidx);
+        }
+        Ok(val)
+    }
+
+    /// Transactional write: buffered until commit, invisible to all other
+    /// threads until then.
+    pub fn write(&mut self, word: &'e TxWord, val: u64) -> TxResult<()> {
+        charge(CostKind::TxStore);
+        if let Some(e) = self.writes.iter_mut().find(|e| std::ptr::eq(e.word, word)) {
+            e.val = val;
+            return Ok(());
+        }
+        if self.writes.len() >= self.write_cap {
+            return Err(Abort {
+                cause: AbortCause::Capacity,
+            });
+        }
+        let oidx = orec::orec_index(word.addr());
+        self.writes.push(WriteEntry { word, val, oidx });
+        Ok(())
+    }
+
+    /// The transactional replacement for a CAS: a read, a branch, and a
+    /// conditional buffered write (§2.3 "atomic synchronization primitives
+    /// ... can be replaced with their corresponding loads, stores, and
+    /// branches"). Returns whether the "CAS" succeeded.
+    pub fn cas(&mut self, word: &'e TxWord, expected: u64, new: u64) -> TxResult<bool> {
+        let cur = self.read(word)?;
+        if cur != expected {
+            return Ok(false);
+        }
+        self.write(word, new)?;
+        Ok(true)
+    }
+
+    /// A memory fence of the original algorithm. Free when fences are
+    /// elided (subsumed by the transaction, §2.3); charged in the
+    /// `FenceMode::Keep` ablation of Figures 5(b)/(c).
+    #[inline]
+    pub fn fence(&self) {
+        if self.fence_mode == FenceMode::Keep {
+            charge(CostKind::Fence);
+        }
+    }
+
+    /// Explicitly abort with an 8-bit code (`TxAbort`). Use as
+    /// `return Err(tx.abort(code))`.
+    pub fn abort(&self, code: u8) -> Abort {
+        Abort {
+            cause: AbortCause::Explicit(code),
+        }
+    }
+
+    /// Number of distinct orecs read so far (diagnostics).
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of buffered writes so far (diagnostics).
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Attempt to commit. On success the buffered writes become visible
+    /// atomically; on failure nothing is visible and the cause is returned.
+    pub(crate) fn commit(self) -> Result<(), AbortCause> {
+        if self.writes.is_empty() {
+            // Read-only fast path: every read already validated against rv,
+            // so the transaction serializes at its begin time.
+            charge(CostKind::TxEnd);
+            return Ok(());
+        }
+
+        // Lock the write orecs in sorted order. Sorted order means two
+        // overlapping committers resolve to a winner at their first shared
+        // orec instead of deadlocking or mutually aborting.
+        let mut lock_order: Vec<usize> = self.writes.iter().map(|e| e.oidx).collect();
+        lock_order.sort_unstable();
+        lock_order.dedup();
+
+        let mut acquired: Vec<(usize, u64)> = Vec::with_capacity(lock_order.len());
+        for &oidx in &lock_order {
+            let o = orec::orec_at(oidx);
+            let cur = o.load(Ordering::Acquire);
+            if orec::is_locked(cur)
+                || o.compare_exchange(
+                    cur,
+                    orec::make_locked(cur),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+            {
+                Self::release(&acquired);
+                return Err(AbortCause::Conflict);
+            }
+            acquired.push((oidx, cur));
+        }
+
+        let wv = orec::gvc_bump();
+
+        // Validate the read set unless no other version was drawn since
+        // begin (TL2's rv+1 == wv shortcut).
+        if wv != self.rv + 1 {
+            for &oidx in &self.reads {
+                match acquired.binary_search_by_key(&oidx, |&(i, _)| i) {
+                    Ok(pos) => {
+                        // Read-write overlap: the pre-lock version must
+                        // still be within our snapshot.
+                        if orec::version_of(acquired[pos].1) > self.rv {
+                            Self::release(&acquired);
+                            return Err(AbortCause::Conflict);
+                        }
+                    }
+                    Err(_) => {
+                        let v = orec::orec_at(oidx).load(Ordering::Acquire);
+                        if orec::is_locked(v) || orec::version_of(v) > self.rv {
+                            Self::release(&acquired);
+                            return Err(AbortCause::Conflict);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Publish: all values first, then all orec releases, so a seqlock
+        // reader that sees any released orec sees every published value.
+        for e in &self.writes {
+            e.word.cell.store(e.val, Ordering::Release);
+        }
+        let newv = orec::make_version(wv);
+        for &(oidx, _) in &acquired {
+            orec::orec_at(oidx).store(newv, Ordering::Release);
+        }
+        charge(CostKind::TxEnd);
+        Ok(())
+    }
+
+    fn release(acquired: &[(usize, u64)]) {
+        for &(oidx, pre) in acquired {
+            orec::orec_at(oidx).store(pre, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction;
+
+    #[test]
+    fn read_own_write() {
+        let w = TxWord::new(1);
+        let got = transaction(|tx| {
+            tx.write(&w, 5)?;
+            tx.read(&w)
+        })
+        .unwrap();
+        assert_eq!(got, 5);
+        assert_eq!(w.peek(), 5);
+    }
+
+    #[test]
+    fn cas_inside_transaction_behaves_like_cas() {
+        let w = TxWord::new(3);
+        let (a, b) = transaction(|tx| {
+            let a = tx.cas(&w, 3, 4)?; // succeeds
+            let b = tx.cas(&w, 3, 5)?; // fails: sees own write 4
+            Ok((a, b))
+        })
+        .unwrap();
+        assert!(a);
+        assert!(!b);
+        assert_eq!(w.peek(), 4);
+    }
+
+    #[test]
+    fn write_capacity_aborts() {
+        let words: Vec<TxWord> = (0..64).map(TxWord::new).collect();
+        let r = crate::transaction_with(
+            crate::TxOpts {
+                write_cap: 8,
+                ..Default::default()
+            },
+            |tx| {
+                for w in &words {
+                    tx.write(w, 0)?;
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(r.unwrap_err(), AbortCause::Capacity);
+        // Nothing was published.
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.peek(), i as u64);
+        }
+    }
+
+    #[test]
+    fn read_capacity_aborts() {
+        let words: Vec<TxWord> = (0..64).map(TxWord::new).collect();
+        let r = crate::transaction_with(
+            crate::TxOpts {
+                read_cap: 8,
+                ..Default::default()
+            },
+            |tx| {
+                let mut sum = 0;
+                for w in &words {
+                    sum += tx.read(w)?;
+                }
+                Ok(sum)
+            },
+        );
+        assert_eq!(r.unwrap_err(), AbortCause::Capacity);
+    }
+
+    #[test]
+    fn repeated_reads_of_one_word_do_not_consume_capacity() {
+        let w = TxWord::new(9);
+        let r = crate::transaction_with(
+            crate::TxOpts {
+                read_cap: 2,
+                ..Default::default()
+            },
+            |tx| {
+                for _ in 0..100 {
+                    tx.read(&w)?;
+                }
+                Ok(tx.read_set_len())
+            },
+        );
+        assert_eq!(r.unwrap(), 1);
+    }
+
+    #[test]
+    fn repeated_writes_coalesce() {
+        let w = TxWord::new(0);
+        transaction(|tx| {
+            for i in 1..=50u64 {
+                tx.write(&w, i)?;
+            }
+            assert_eq!(tx.write_set_len(), 1);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(w.peek(), 50);
+    }
+
+    #[test]
+    fn explicit_abort_code_is_reported() {
+        let r: Result<(), _> = transaction(|tx| Err(tx.abort(0x42)));
+        assert_eq!(r.unwrap_err(), AbortCause::Explicit(0x42));
+    }
+
+    #[test]
+    fn retry_hint_only_for_conflicts() {
+        assert!(AbortCause::Conflict.retry_hint());
+        assert!(!AbortCause::Capacity.retry_hint());
+        assert!(!AbortCause::Explicit(0).retry_hint());
+        assert!(!AbortCause::Nested.retry_hint());
+    }
+
+    #[test]
+    fn fence_mode_keep_charges_elide_does_not() {
+        use pto_sim::cost;
+        let w = TxWord::new(0);
+        pto_sim::clock::reset();
+        let _ = crate::transaction_with(
+            crate::TxOpts {
+                fence_mode: FenceMode::Elide,
+                ..Default::default()
+            },
+            |tx| {
+                tx.read(&w)?;
+                tx.fence();
+                Ok(())
+            },
+        );
+        let elided = pto_sim::now();
+        pto_sim::clock::reset();
+        let _ = crate::transaction_with(
+            crate::TxOpts {
+                fence_mode: FenceMode::Keep,
+                ..Default::default()
+            },
+            |tx| {
+                tx.read(&w)?;
+                tx.fence();
+                Ok(())
+            },
+        );
+        let kept = pto_sim::now();
+        assert_eq!(kept - elided, cost::cycles(pto_sim::CostKind::Fence));
+    }
+
+    #[test]
+    fn conflicting_committers_one_wins() {
+        // Heavy write-write contention on one word: total must equal the
+        // number of successful commits.
+        let w = TxWord::new(0);
+        let commits = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let w = &w;
+                let commits = &commits;
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        let r = transaction(|tx| {
+                            let v = tx.read(w)?;
+                            tx.write(w, v + 1)?;
+                            Ok(())
+                        });
+                        if r.is_ok() {
+                            commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(w.peek(), commits.load(Ordering::Relaxed));
+        assert!(commits.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Three-epoch memory reclamation.
+//!
+//! The global epoch advances in steps of 2 (keeping the low bit free as a
+//! pinned flag in announcements). A participating thread *pins* before a
+//! fallback-path traversal, announcing the epoch it observed; the global
+//! epoch can only advance when every pinned thread has announced the
+//! current value. A slot retired while the global epoch was `e` may be
+//! recycled once the global epoch reaches `e + 2·GRACE_ADVANCES`, at which
+//! point no pinned thread can still hold a reference from before the
+//! retirement.
+//!
+//! Cost model: pinning charges `EpochPin` (two stores + a fence — the very
+//! fences §4.5 of the paper elides for transactional lookups), unpinning
+//! charges `EpochUnpin`. PTO fast paths do not pin at all; see the crate
+//! docs for why that is safe on this substrate.
+
+use crossbeam_utils::CachePadded;
+use pto_sim::{charge, CostKind};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Maximum simultaneously registered threads (the paper uses ≤ 8; tests
+/// spawn more, and slots are leased and recycled on thread exit).
+pub const MAX_THREADS: usize = 128;
+
+/// Epoch distance (in advances of 2) before a retired slot may recycle.
+const GRACE_ADVANCES: u64 = 2;
+
+static GLOBAL: AtomicU64 = AtomicU64::new(2);
+
+struct Registry {
+    announce: [CachePadded<AtomicU64>; MAX_THREADS],
+    claimed: [AtomicBool; MAX_THREADS],
+}
+
+fn registry() -> &'static Registry {
+    use std::sync::OnceLock;
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(|| Registry {
+        announce: std::array::from_fn(|_| CachePadded::new(AtomicU64::new(0))),
+        claimed: std::array::from_fn(|_| AtomicBool::new(false)),
+    })
+}
+
+struct SlotLease {
+    slot: Cell<usize>,
+    depth: Cell<u32>,
+}
+
+impl Drop for SlotLease {
+    fn drop(&mut self) {
+        let slot = self.slot.get();
+        if slot != usize::MAX {
+            let r = registry();
+            r.announce[slot].store(0, Ordering::Release);
+            r.claimed[slot].store(false, Ordering::Release);
+        }
+    }
+}
+
+thread_local! {
+    static LEASE: SlotLease = const {
+        SlotLease {
+            slot: Cell::new(usize::MAX),
+            depth: Cell::new(0),
+        }
+    };
+}
+
+fn my_slot() -> usize {
+    LEASE.with(|l| {
+        let s = l.slot.get();
+        if s != usize::MAX {
+            return s;
+        }
+        let r = registry();
+        for i in 0..MAX_THREADS {
+            if !r.claimed[i].load(Ordering::Acquire)
+                && r.claimed[i]
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                l.slot.set(i);
+                return i;
+            }
+        }
+        panic!("epoch registry exhausted: more than {MAX_THREADS} live threads");
+    })
+}
+
+/// An RAII pin token. While any `Guard` is live on a thread, no slot
+/// retired after the pin can be recycled out from under it. Pins nest; only
+/// the outermost announcement touches shared memory.
+pub struct Guard {
+    slot: usize,
+}
+
+impl Guard {
+    /// The epoch this thread is pinned at.
+    pub fn epoch(&self) -> u64 {
+        registry().announce[self.slot].load(Ordering::Relaxed) & !1
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        LEASE.with(|l| {
+            let d = l.depth.get() - 1;
+            l.depth.set(d);
+            if d == 0 {
+                charge(CostKind::EpochUnpin);
+                registry().announce[self.slot].store(0, Ordering::Release);
+            }
+        });
+    }
+}
+
+/// Pin the current thread: fallback-path operations hold a `Guard` across
+/// their shared-memory traversal. Charges the paper's "two stores and two
+/// memory fences" epoch-entry cost (§4.5) on the outermost pin.
+pub fn pin() -> Guard {
+    let slot = my_slot();
+    LEASE.with(|l| {
+        let d = l.depth.get();
+        l.depth.set(d + 1);
+        if d == 0 {
+            charge(CostKind::EpochPin);
+            let e = GLOBAL.load(Ordering::Acquire);
+            registry().announce[slot].store(e | 1, Ordering::SeqCst);
+        }
+    });
+    Guard { slot }
+}
+
+/// The current global epoch (always even).
+pub fn current() -> u64 {
+    GLOBAL.load(Ordering::Acquire)
+}
+
+/// Attempt to advance the global epoch: succeeds iff every pinned thread
+/// has announced the current epoch. Called opportunistically by the pools'
+/// allocation slow path; uncharged machinery.
+pub fn try_advance() -> bool {
+    let r = registry();
+    let e = GLOBAL.load(Ordering::Acquire);
+    for a in r.announce.iter() {
+        let v = a.load(Ordering::Acquire);
+        if v & 1 == 1 && (v & !1) != e {
+            return false;
+        }
+    }
+    GLOBAL
+        .compare_exchange(e, e + 2, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// True when a slot retired at epoch `retired_at` has passed its grace
+/// period and may be recycled.
+pub fn is_safe(retired_at: u64) -> bool {
+    current() >= retired_at + 2 * GRACE_ADVANCES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Advance until `current() >= target`, tolerating other tests' short
+    /// pins; panics if the epoch is permanently stalled.
+    fn advance_until(target: u64) {
+        let mut tries = 0u64;
+        while current() < target {
+            try_advance();
+            tries += 1;
+            if tries % 1024 == 0 {
+                std::thread::yield_now();
+            }
+            assert!(tries < 100_000_000, "epoch stalled before {target}");
+        }
+    }
+
+    #[test]
+    fn epoch_is_even_and_monotone() {
+        let a = current();
+        assert_eq!(a % 2, 0);
+        advance_until(a + 2);
+        assert!(current() >= a + 2);
+    }
+
+    #[test]
+    fn stale_pin_blocks_advance_until_dropped() {
+        let g = pin();
+        let e = g.epoch();
+        // Make our announcement stale: once global passes our pinned epoch,
+        // every further advance is blocked by us, deterministically.
+        advance_until(e + 2);
+        for _ in 0..100 {
+            assert!(!try_advance(), "advance succeeded past a stale pin");
+        }
+        let blocked_at = current();
+        drop(g);
+        advance_until(blocked_at + 2);
+        assert!(current() > e);
+    }
+
+    #[test]
+    fn nested_pins_announce_once_and_release_last() {
+        let g1 = pin();
+        let e = g1.epoch();
+        let g2 = pin();
+        assert_eq!(g2.epoch(), e);
+        advance_until(e + 2);
+        drop(g2);
+        // g1 still holds the (now stale) announcement: still blocked.
+        for _ in 0..100 {
+            assert!(!try_advance(), "inner drop released the outer pin");
+        }
+        drop(g1);
+        advance_until(e + 4);
+    }
+
+    #[test]
+    fn is_safe_respects_grace_period() {
+        // Holding a fresh pin bounds the global epoch to e+2, so e cannot
+        // become safe while we watch.
+        let g = pin();
+        let e = g.epoch();
+        assert!(!is_safe(e));
+        assert!(is_safe(e.saturating_sub(2 * GRACE_ADVANCES)));
+        drop(g);
+    }
+
+    #[test]
+    fn many_threads_pin_and_release_slots() {
+        // Threads exceeding MAX_THREADS over the process lifetime must be
+        // fine because leases recycle on exit.
+        for _ in 0..4 {
+            std::thread::scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            let _g = pin();
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn pinned_threads_eventually_let_epoch_advance() {
+        // Repeated pin/unpin cycles on several threads; a dedicated thread
+        // advancing must make progress.
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _g = pin();
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            let start = current();
+            let mut tries = 0u64;
+            while current() < start + 10 && tries < 50_000_000 {
+                try_advance();
+                tries += 1;
+            }
+            stop.store(true, Ordering::Relaxed);
+            assert!(current() >= start + 10, "epoch stalled");
+        });
+    }
+}

@@ -1,0 +1,27 @@
+//! # pto-mem — memory management substrate
+//!
+//! The paper's BST, hash table and skiplist need safe memory reclamation
+//! (it ports them to C++ with an epoch-based reclaimer), and one of PTO's
+//! headline wins is *eliding* epoch maintenance inside hardware
+//! transactions (§4.5, §5). This crate provides both halves:
+//!
+//! * [`epoch`] — a classic three-epoch reclamation scheme. Fallback
+//!   (non-transactional) operations pin a [`epoch::Guard`]; PTO fast paths
+//!   simply don't, which is safe here for the same reason it is safe on
+//!   hardware: our HTM is opaque, so a transaction that wanders into
+//!   recycled memory is doomed to abort before it can misbehave.
+//! * [`pool`] — segmented, append-only node pools addressed by `u32` slot
+//!   index. Segments never move or unmap, so a stale index dereference is
+//!   always memory-safe (it may read a *recycled* node, which the orec
+//!   version machinery or epoch guard turns into an abort/retry, never
+//!   UB). Allocation cost is modeled (`PoolAlloc`/`PoolFree` plus a
+//!   contention surcharge per concurrent allocator), reproducing the
+//!   shared-allocator bottleneck the paper blames for the hash table's
+//!   widening PTO gap at high thread counts.
+
+pub mod epoch;
+pub mod hazard;
+pub mod pool;
+
+pub use hazard::HazardDomain;
+pub use pool::{Pool, NIL};

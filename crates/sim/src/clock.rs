@@ -1,0 +1,160 @@
+//! Per-thread virtual cycle clocks.
+//!
+//! Every modeled event in the workspace calls [`charge`], which advances the
+//! current thread's virtual clock. When the thread is attached to a
+//! [`sched::Gate`](crate::sched), crossing a quantum boundary synchronizes
+//! with the other logical threads so that virtual time stays aligned across
+//! the simulated machine.
+//!
+//! Threads that are *not* attached to a gate (unit tests, examples run
+//! without the simulator) still accumulate cycles, which lets tests assert
+//! cost properties directly.
+
+use crate::cost::{self, CostKind};
+use crate::sched::Gate;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+struct ThreadCtx {
+    clock: Cell<u64>,
+    last_sync: Cell<u64>,
+    lane: Cell<usize>,
+    gate: RefCell<Option<Arc<Gate>>>,
+}
+
+thread_local! {
+    static CTX: ThreadCtx = const {
+        ThreadCtx {
+            clock: Cell::new(0),
+            last_sync: Cell::new(0),
+            lane: Cell::new(0),
+            gate: RefCell::new(None),
+        }
+    };
+}
+
+/// Charge one event from the cost table to the current thread's clock.
+#[inline]
+pub fn charge(kind: CostKind) {
+    charge_cycles(cost::cycles(kind));
+}
+
+/// Charge `n` repetitions of one event.
+#[inline]
+pub fn charge_n(kind: CostKind, n: u64) {
+    charge_cycles(cost::cycles(kind) * n);
+}
+
+/// Charge a raw cycle amount to the current thread's clock, synchronizing
+/// with the gate scheduler if the quantum boundary is crossed.
+///
+/// Must not be called while holding simulation-machinery locks (pool/limbo
+/// mutexes): the gate may block this thread until slower threads catch up,
+/// and a blocked lock-holder would deadlock the virtual machine.
+#[inline]
+pub fn charge_cycles(c: u64) {
+    CTX.with(|ctx| {
+        let now = ctx.clock.get().saturating_add(c);
+        ctx.clock.set(now);
+        let gate = ctx.gate.borrow();
+        if let Some(g) = gate.as_ref() {
+            if now.wrapping_sub(ctx.last_sync.get()) >= g.quantum() {
+                ctx.last_sync.set(now);
+                g.sync(ctx.lane.get(), now);
+            }
+        }
+    });
+}
+
+/// The current thread's virtual clock, in cycles.
+#[inline]
+pub fn now() -> u64 {
+    CTX.with(|ctx| ctx.clock.get())
+}
+
+/// Reset the current thread's clock to zero (unit-test helper; also called
+/// by the scheduler when a lane is attached).
+pub fn reset() {
+    CTX.with(|ctx| {
+        ctx.clock.set(0);
+        ctx.last_sync.set(0);
+    });
+}
+
+/// Attach the current thread to a gate as logical lane `lane`.
+/// Called by [`crate::Sim::run`]; resets the clock.
+pub(crate) fn attach(gate: Arc<Gate>, lane: usize) {
+    CTX.with(|ctx| {
+        ctx.clock.set(0);
+        ctx.last_sync.set(0);
+        ctx.lane.set(lane);
+        *ctx.gate.borrow_mut() = Some(gate);
+    });
+}
+
+/// Detach the current thread from its gate, marking the lane finished and
+/// returning the final clock value.
+pub(crate) fn detach() -> u64 {
+    CTX.with(|ctx| {
+        let final_clock = ctx.clock.get();
+        if let Some(g) = ctx.gate.borrow_mut().take() {
+            g.finish(ctx.lane.get(), final_clock);
+        }
+        final_clock
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        reset();
+        let t0 = now();
+        charge(CostKind::Cas);
+        charge(CostKind::Fence);
+        assert_eq!(
+            now() - t0,
+            cost::cycles(CostKind::Cas) + cost::cycles(CostKind::Fence)
+        );
+    }
+
+    #[test]
+    fn charge_n_multiplies() {
+        reset();
+        charge_n(CostKind::SharedLoad, 7);
+        assert_eq!(now(), 7 * cost::cycles(CostKind::SharedLoad));
+    }
+
+    #[test]
+    fn reset_zeroes_the_clock() {
+        charge(CostKind::PoolAlloc);
+        reset();
+        assert_eq!(now(), 0);
+    }
+
+    #[test]
+    fn clocks_are_thread_local() {
+        reset();
+        charge(CostKind::Fence);
+        let mine = now();
+        let theirs = std::thread::spawn(|| {
+            charge(CostKind::Cas);
+            now()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(mine, cost::cycles(CostKind::Fence));
+        assert_eq!(theirs, cost::cycles(CostKind::Cas));
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        reset();
+        charge_cycles(u64::MAX - 5);
+        charge_cycles(100);
+        assert_eq!(now(), u64::MAX);
+        reset();
+    }
+}

@@ -1,0 +1,97 @@
+//! A tiny xorshift64* PRNG for in-library randomness.
+//!
+//! Library crates (e.g. the skiplist's tower-height draws) need cheap
+//! randomness without pulling the full `rand` stack into every crate;
+//! benchmark workloads in `pto-bench` use `rand` proper.
+
+/// xorshift64* — 8 bytes of state, passes BigCrush's small set, more than
+/// adequate for geometric level draws and workload mixing.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed is remapped (xorshift has a zero
+    /// fixed point).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire-style multiply-shift reduction; bias is negligible for the
+        // bounds used here (≤ 2^32).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A coin flip with probability `num/den` of returning true.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(37) < 37);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = XorShift64::new(99);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            // Each bucket expects 10_000; allow ±10%.
+            assert!((9_000..=11_000).contains(&b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = XorShift64::new(5);
+        let hits = (0..100_000).filter(|_| r.chance(1, 4)).count();
+        assert!((23_000..=27_000).contains(&hits), "hits {hits}");
+    }
+}

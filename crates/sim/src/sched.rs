@@ -1,0 +1,273 @@
+//! The gate scheduler: fair virtual-time execution of N logical threads.
+//!
+//! Each logical thread runs on its own OS thread but is only allowed to get
+//! `quantum` virtual cycles ahead of the slowest still-active thread. On a
+//! single physical core this produces interleavings that are faithful to an
+//! N-way parallel machine *in virtual time*: transactions conflict, CASes
+//! fail, and helping triggers at the rates an 8-thread Haswell would see,
+//! even though only one OS thread executes at any instant.
+//!
+//! The protocol is decentralized: a thread that crosses a quantum boundary
+//! publishes its clock, recomputes the minimum over all active lanes, wakes
+//! waiters if the minimum advanced, and blocks if it is itself too far
+//! ahead. Finished lanes publish `u64::MAX` so they never hold others back.
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default quantum: how far ahead (in virtual cycles) a thread may run
+/// before waiting for stragglers. Small enough that operations (hundreds to
+/// thousands of cycles) genuinely overlap; large enough to amortize the
+/// synchronization cost.
+pub const DEFAULT_QUANTUM: u64 = 200;
+
+/// Shared state of one simulated machine run.
+pub struct Gate {
+    quantum: u64,
+    clocks: Box<[CachePadded<AtomicU64>]>,
+    finals: Box<[CachePadded<AtomicU64>]>,
+    cached_min: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new(lanes: usize, quantum: u64) -> Self {
+        assert!(lanes > 0, "a simulation needs at least one lane");
+        let mk = || {
+            (0..lanes)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        Gate {
+            quantum: quantum.max(1),
+            clocks: mk(),
+            finals: mk(),
+            cached_min: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    fn min_clock(&self) -> u64 {
+        self.clocks
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Publish `now` for `lane`; wake stragglers' waiters if the global
+    /// minimum advanced; block while this lane is more than one quantum
+    /// ahead of the minimum.
+    pub(crate) fn sync(&self, lane: usize, now: u64) {
+        self.clocks[lane].store(now, Ordering::Release);
+        let m = self.min_clock();
+        if m > self.cached_min.load(Ordering::Relaxed) {
+            self.cached_min.store(m, Ordering::Relaxed);
+            // Lock-then-notify so a waiter cannot re-check the condition and
+            // block between our min computation and the notification.
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+        if now > m.saturating_add(self.quantum) {
+            let mut g = self.lock.lock();
+            while now > self.min_clock().saturating_add(self.quantum) {
+                self.cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// Mark `lane` finished: it no longer constrains the minimum.
+    pub(crate) fn finish(&self, lane: usize, final_clock: u64) {
+        self.finals[lane].store(final_clock, Ordering::Release);
+        self.clocks[lane].store(u64::MAX, Ordering::Release);
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// Configuration for one simulated multi-threaded run.
+#[derive(Clone, Copy, Debug)]
+pub struct Sim {
+    /// Number of logical threads (the paper sweeps 1–8).
+    pub threads: usize,
+    /// Gate quantum in virtual cycles; see [`DEFAULT_QUANTUM`].
+    pub quantum: u64,
+}
+
+/// Result of a simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Final virtual clock of every lane.
+    pub per_thread: Vec<u64>,
+    /// The makespan: max final clock, i.e. the virtual duration of the run.
+    pub makespan: u64,
+}
+
+impl Sim {
+    /// A simulation with `threads` lanes and the default quantum.
+    pub fn new(threads: usize) -> Self {
+        Sim {
+            threads,
+            quantum: DEFAULT_QUANTUM,
+        }
+    }
+
+    /// Run `body(lane)` on every lane under the gate and return the virtual
+    /// timing outcome. `body` typically loops over a per-thread slice of the
+    /// workload, calling into data-structure operations whose shared-memory
+    /// accesses charge the lane's virtual clock.
+    ///
+    /// ```
+    /// use pto_sim::{CostKind, Sim};
+    ///
+    /// // Four logical threads, each charging 100 CAS-equivalents: the
+    /// // virtual makespan is one thread's worth of work, because the
+    /// // lanes overlap in virtual time.
+    /// let out = Sim::new(4).run(|_lane| {
+    ///     pto_sim::charge_n(CostKind::Cas, 100);
+    /// });
+    /// assert_eq!(out.per_thread.len(), 4);
+    /// assert_eq!(out.makespan, 100 * pto_sim::cost::cycles(CostKind::Cas));
+    /// ```
+    pub fn run<F>(&self, body: F) -> SimOutcome
+    where
+        F: Fn(usize) + Sync,
+    {
+        let gate = Arc::new(Gate::new(self.threads, self.quantum));
+        std::thread::scope(|s| {
+            for lane in 0..self.threads {
+                let gate = Arc::clone(&gate);
+                let body = &body;
+                s.spawn(move || {
+                    crate::clock::attach(gate, lane);
+                    body(lane);
+                    crate::clock::detach();
+                });
+            }
+        });
+        let per_thread: Vec<u64> = gate
+            .finals
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect();
+        let makespan = per_thread.iter().copied().max().unwrap_or(0);
+        SimOutcome {
+            per_thread,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock;
+    use crate::cost::CostKind;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_lane_runs_to_completion() {
+        let out = Sim::new(1).run(|_| {
+            clock::charge_n(CostKind::Cas, 100);
+        });
+        assert_eq!(out.per_thread.len(), 1);
+        assert_eq!(out.makespan, 100 * crate::cost::cycles(CostKind::Cas));
+    }
+
+    #[test]
+    fn lanes_progress_together() {
+        // With the gate, no lane can finish wildly ahead: all lanes charge
+        // the same work, so final clocks must be equal.
+        let out = Sim::new(4).run(|_| {
+            for _ in 0..1000 {
+                clock::charge(CostKind::SharedLoad);
+            }
+        });
+        let min = *out.per_thread.iter().min().unwrap();
+        let max = *out.per_thread.iter().max().unwrap();
+        assert_eq!(min, max);
+        assert_eq!(out.makespan, max);
+    }
+
+    #[test]
+    fn unbalanced_lanes_do_not_deadlock() {
+        // A lane that finishes early must not gate the others.
+        let out = Sim::new(3).run(|lane| {
+            let reps = if lane == 0 { 10 } else { 5000 };
+            for _ in 0..reps {
+                clock::charge(CostKind::Fence);
+            }
+        });
+        assert!(out.per_thread[0] < out.per_thread[1]);
+        assert_eq!(out.per_thread[1], out.per_thread[2]);
+    }
+
+    #[test]
+    fn virtual_overlap_is_bounded_by_quantum() {
+        // Record the max observed skew between two lanes at sync points; it
+        // can exceed the quantum only by one charge granule.
+        let skew = AtomicUsize::new(0);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        let sim = Sim {
+            threads: 2,
+            quantum: 100,
+        };
+        sim.run(|lane| {
+            for _ in 0..2000 {
+                clock::charge(CostKind::SharedStore);
+                let me = clock::now();
+                let (mine, other) = if lane == 0 { (&a, &b) } else { (&b, &a) };
+                mine.store(me, Ordering::Relaxed);
+                let them = other.load(Ordering::Relaxed);
+                // Only count cases where I'm ahead (them lags behind me).
+                if me > them {
+                    let s = (me - them) as usize;
+                    skew.fetch_max(s, Ordering::Relaxed);
+                }
+            }
+        });
+        // A lane may be at most quantum + one charge ahead of a *running*
+        // peer; the peer's published clock may additionally lag by up to a
+        // quantum of unpublished charges. Allow 3 quanta of slack.
+        assert!(
+            skew.load(Ordering::Relaxed) <= 300 + 8,
+            "skew {} exceeds bound",
+            skew.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn makespan_is_max_of_lane_clocks() {
+        let out = Sim::new(5).run(|lane| {
+            clock::charge_cycles((lane as u64 + 1) * 1000);
+        });
+        assert_eq!(out.makespan, 5000);
+    }
+
+    #[test]
+    fn many_lanes_on_one_core_terminate() {
+        // 8 lanes (the paper's max) with mixed charge patterns.
+        let out = Sim::new(8).run(|lane| {
+            for i in 0..500 {
+                if (i + lane) % 3 == 0 {
+                    clock::charge(CostKind::Cas);
+                } else {
+                    clock::charge(CostKind::SharedLoad);
+                }
+            }
+        });
+        assert_eq!(out.per_thread.len(), 8);
+        assert!(out.makespan > 0);
+    }
+}

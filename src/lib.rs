@@ -1,0 +1,29 @@
+//! # pto — Prefix Transaction Optimization for Concurrent Data Structures
+//!
+//! Umbrella crate for the SPAA 2015 reproduction. Re-exports every
+//! workspace crate under one roof:
+//!
+//! * [`sim`] — virtual-time simulator and cost model,
+//! * [`htm`] — software best-effort HTM with strong atomicity,
+//! * [`mem`] — epoch- and hazard-pointer reclamation, segmented node pools,
+//! * [`core`] — the PTO framework (policies, composition, DCAS/DCSS, TLE),
+//! * the paper's five accelerated structures: [`mindicator`], [`mound`],
+//!   [`skiplist`], [`bst`], [`hashtable`],
+//! * two §2.3 extension structures: [`msqueue`] (Michael–Scott queue,
+//!   hazard/double-check elision) and [`list`] (Harris list, granularity
+//!   study).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; `examples/` contains runnable scenarios.
+
+pub use pto_bst as bst;
+pub use pto_core as core;
+pub use pto_hashtable as hashtable;
+pub use pto_htm as htm;
+pub use pto_list as list;
+pub use pto_mem as mem;
+pub use pto_mindicator as mindicator;
+pub use pto_mound as mound;
+pub use pto_msqueue as msqueue;
+pub use pto_sim as sim;
+pub use pto_skiplist as skiplist;

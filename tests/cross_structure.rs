@@ -1,0 +1,118 @@
+//! Differential testing across every set implementation and variant: the
+//! same operation stream must produce the same abstract set everywhere.
+
+use pto::bst::{Bst, BstVariant};
+use pto::core::ConcurrentSet;
+use pto::hashtable::{FSetHashTable, HashVariant};
+use pto::sim::rng::XorShift64;
+use pto::skiplist::SkipListSet;
+use std::collections::BTreeSet;
+
+fn all_sets() -> Vec<(String, Box<dyn ConcurrentSet>)> {
+    let mut v: Vec<(String, Box<dyn ConcurrentSet>)> = Vec::new();
+    for var in [
+        BstVariant::LockFree,
+        BstVariant::Pto1,
+        BstVariant::Pto2,
+        BstVariant::Pto1Pto2,
+    ] {
+        v.push((format!("bst-{var:?}"), Box::new(Bst::new(var))));
+    }
+    v.push(("skip-lf".into(), Box::new(SkipListSet::new_lockfree())));
+    v.push(("skip-pto".into(), Box::new(SkipListSet::new_pto())));
+    for var in [HashVariant::LockFree, HashVariant::Pto, HashVariant::PtoInplace] {
+        v.push((
+            format!("hash-{var:?}"),
+            Box::new(FSetHashTable::new(var, 8)),
+        ));
+    }
+    v
+}
+
+#[test]
+fn identical_single_threaded_histories() {
+    let sets = all_sets();
+    let mut oracle = BTreeSet::new();
+    let mut rng = XorShift64::new(20260706);
+    for _ in 0..3_000 {
+        let k = rng.below(200);
+        match rng.below(3) {
+            0 => {
+                let want = oracle.insert(k);
+                for (name, s) in &sets {
+                    assert_eq!(s.insert(k), want, "{name}: insert {k}");
+                }
+            }
+            1 => {
+                let want = oracle.remove(&k);
+                for (name, s) in &sets {
+                    assert_eq!(s.remove(k), want, "{name}: remove {k}");
+                }
+            }
+            _ => {
+                let want = oracle.contains(&k);
+                for (name, s) in &sets {
+                    assert_eq!(s.contains(k), want, "{name}: contains {k}");
+                }
+            }
+        }
+    }
+    for (name, s) in &sets {
+        assert_eq!(s.len(), oracle.len(), "{name}: final size");
+    }
+}
+
+#[test]
+fn concurrent_final_states_agree() {
+    // Partitioned key ranges per thread make the final state deterministic
+    // even under concurrency; every implementation must converge to it.
+    for (name, s) in all_sets() {
+        std::thread::scope(|sc| {
+            for t in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    let lo = t * 250;
+                    for k in lo..lo + 250 {
+                        assert!(s.insert(k));
+                    }
+                    // Remove the odd keys again.
+                    for k in (lo..lo + 250).filter(|k| k % 2 == 1) {
+                        assert!(s.remove(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 500, "{name}");
+        for k in 0..1000 {
+            assert_eq!(s.contains(k), k % 2 == 0, "{name}: key {k}");
+        }
+    }
+}
+
+#[test]
+fn pq_implementations_agree() {
+    use pto::core::PriorityQueue;
+    use pto::mound::Mound;
+    use pto::skiplist::SkipQueue;
+    let qs: Vec<(&str, Box<dyn PriorityQueue>)> = vec![
+        ("mound-lf", Box::new(Mound::new_lockfree(14))),
+        ("mound-pto", Box::new(Mound::new_pto(14))),
+        ("skipq-lf", Box::new(SkipQueue::new_lockfree())),
+        ("skipq-pto", Box::new(SkipQueue::new_pto())),
+    ];
+    let mut rng = XorShift64::new(777);
+    let keys: Vec<u64> = (0..2_000).map(|_| rng.below(10_000)).collect();
+    for (_, q) in &qs {
+        for &k in &keys {
+            q.push(k);
+        }
+    }
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    for (name, q) in &qs {
+        for (i, &want) in sorted.iter().enumerate() {
+            assert_eq!(q.pop_min(), Some(want), "{name}: pop #{i}");
+        }
+        assert_eq!(q.pop_min(), None, "{name}: not drained");
+    }
+}

@@ -1,0 +1,103 @@
+//! Progress-preservation tests (Theorems 2 and 3): the prefix transaction
+//! may always fail, and operations must still complete through the
+//! untouched lock-free fallback in a bounded number of attempts.
+
+use pto::core::policy::{pto, PtoPolicy, PtoStats};
+use pto::core::ConcurrentSet;
+use pto::htm::{AbortCause, TxResult, TxWord};
+
+#[test]
+fn attempts_are_bounded_per_operation() {
+    // A prefix that always explicitly aborts consumes exactly one attempt
+    // (permanent abort) before the fallback — never more than the budget.
+    let stats = PtoStats::new();
+    let policy = PtoPolicy::with_attempts(7);
+    for i in 0..1_000u64 {
+        let v = pto(
+            &policy,
+            &stats,
+            |tx| -> TxResult<u64> { Err(tx.abort(1)) },
+            || i,
+        );
+        assert_eq!(v, i);
+    }
+    assert_eq!(stats.fallback.get(), 1_000);
+    assert!(stats.aborted_attempts.get() <= 7_000);
+}
+
+#[test]
+fn conflict_retries_respect_the_budget() {
+    let mut stubborn = PtoPolicy::with_attempts(5);
+    stubborn.stop_on_permanent = false;
+    let stats = PtoStats::new();
+    let v = pto(
+        &stubborn,
+        &stats,
+        |tx| -> TxResult<&str> { Err(tx.abort(2)) },
+        || "fallback",
+    );
+    assert_eq!(v, "fallback");
+    assert_eq!(stats.aborted_attempts.get(), 5, "must stop at the budget");
+}
+
+#[test]
+fn capacity_starved_htm_degrades_to_lockfree_semantics() {
+    // §7: "our technique is oblivious to the capacity of the underlying
+    // HTM" — with a 1-word write budget every multi-write prefix fails and
+    // the structure must behave exactly like its lock-free baseline.
+    use pto::bst::{Bst, BstVariant};
+    let t = Bst::with_policies(
+        BstVariant::Pto1Pto2,
+        PtoPolicy::with_attempts(2).with_write_cap(1),
+        PtoPolicy::with_attempts(16).with_write_cap(1),
+    );
+    for k in 0..500 {
+        assert!(t.insert(k));
+    }
+    for k in 0..500 {
+        assert!(t.contains(k));
+    }
+    for k in (0..500).step_by(2) {
+        assert!(t.remove(k));
+    }
+    assert_eq!(t.len(), 250);
+    // Update prefixes (2+ writes) can never commit under a 1-write cap —
+    // only the 500 read-only lookups may have taken the fast path.
+    assert_eq!(t.stats1.fast.get(), 500);
+    assert!(t.stats1.fallback.get() >= 750, "updates must have fallen back");
+}
+
+#[test]
+fn explicit_abort_reports_its_code() {
+    let r: Result<(), AbortCause> = pto_htm::transaction(|tx| Err(tx.abort(0x2A)));
+    assert_eq!(r.unwrap_err(), AbortCause::Explicit(0x2A));
+}
+
+#[test]
+fn doomed_prefix_makes_global_progress_under_contention() {
+    // 4 threads, all prefixes doomed, one shared word: the lock-free
+    // fallback must still complete every operation.
+    let w = TxWord::new(0);
+    let policy = PtoPolicy::with_attempts(3);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let w = &w;
+            let policy = &policy;
+            s.spawn(move || {
+                let stats = PtoStats::new();
+                for _ in 0..2_500 {
+                    pto(
+                        policy,
+                        &stats,
+                        |tx| -> TxResult<()> { Err(tx.abort(9)) },
+                        || {
+                            w.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                        },
+                    );
+                }
+                assert_eq!(stats.fallback.get(), 2_500);
+            });
+        }
+    });
+    assert_eq!(w.peek(), 10_000);
+}

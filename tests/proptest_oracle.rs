@@ -1,0 +1,144 @@
+//! Property-based differential tests: arbitrary operation sequences against
+//! model oracles, for every structure and PTO variant.
+
+use proptest::prelude::*;
+use pto::bst::{Bst, BstVariant};
+use pto::core::{ConcurrentSet, PriorityQueue, Quiescence};
+use pto::hashtable::{FSetHashTable, HashVariant};
+use pto::mound::Mound;
+use pto::skiplist::{SkipListSet, SkipQueue};
+use std::collections::{BTreeSet, BinaryHeap};
+
+#[derive(Clone, Debug)]
+enum SetOp {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn set_ops(max_key: u64) -> impl Strategy<Value = Vec<SetOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_key).prop_map(SetOp::Insert),
+            (0..max_key).prop_map(SetOp::Remove),
+            (0..max_key).prop_map(SetOp::Contains),
+        ],
+        1..400,
+    )
+}
+
+fn check_set(s: &dyn ConcurrentSet, ops: &[SetOp]) {
+    let mut oracle = BTreeSet::new();
+    for op in ops {
+        match *op {
+            SetOp::Insert(k) => assert_eq!(s.insert(k), oracle.insert(k), "insert {k}"),
+            SetOp::Remove(k) => assert_eq!(s.remove(k), oracle.remove(&k), "remove {k}"),
+            SetOp::Contains(k) => assert_eq!(s.contains(k), oracle.contains(&k), "contains {k}"),
+        }
+    }
+    assert_eq!(s.len(), oracle.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bst_all_variants_match_btreeset(ops in set_ops(64)) {
+        for v in [BstVariant::LockFree, BstVariant::Pto1, BstVariant::Pto2, BstVariant::Pto1Pto2] {
+            let t = Bst::new(v);
+            check_set(&t, &ops);
+            t.check_structure().unwrap();
+        }
+    }
+
+    #[test]
+    fn skiplist_variants_match_btreeset(ops in set_ops(64)) {
+        check_set(&SkipListSet::new_lockfree(), &ops);
+        check_set(&SkipListSet::new_pto(), &ops);
+    }
+
+    #[test]
+    fn hashtable_variants_match_btreeset(ops in set_ops(64)) {
+        for v in [HashVariant::LockFree, HashVariant::Pto, HashVariant::PtoInplace] {
+            check_set(&FSetHashTable::new(v, 2), &ops);
+        }
+    }
+
+    #[test]
+    fn pq_variants_match_binaryheap(ops in prop::collection::vec(
+        prop_oneof![
+            (0..1_000u64).prop_map(Some),
+            Just(None),
+        ], 1..300))
+    {
+        let qs: Vec<Box<dyn PriorityQueue>> = vec![
+            Box::new(Mound::new_lockfree(12)),
+            Box::new(Mound::new_pto(12)),
+            Box::new(SkipQueue::new_lockfree()),
+            Box::new(SkipQueue::new_pto()),
+        ];
+        for q in &qs {
+            let mut oracle: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+            for op in &ops {
+                match op {
+                    Some(k) => { q.push(*k); oracle.push(std::cmp::Reverse(*k)); }
+                    None => assert_eq!(q.pop_min(), oracle.pop().map(|r| r.0)),
+                }
+            }
+            // Drain and compare the residue.
+            let mut rest = Vec::new();
+            while let Some(v) = q.pop_min() { rest.push(v); }
+            let mut want: Vec<u64> = oracle.into_sorted_vec().into_iter().map(|r| r.0).collect();
+            want.reverse(); // into_sorted_vec on Reverse yields descending keys
+            assert_eq!(rest, want);
+        }
+    }
+
+    #[test]
+    fn mindicator_quiescent_min_matches(values in prop::collection::vec(0..10_000u64, 1..32)) {
+        // Sequential arrive/depart pairs: after arrive(v) the min is ≤ v;
+        // after the matching depart the tree must be idle again.
+        let m = pto::mindicator::PtoMindicator::new(64);
+        for &v in &values {
+            m.arrive(v);
+            prop_assert!(m.query() <= v);
+            m.depart();
+            prop_assert_eq!(m.query(), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn htm_transactions_apply_all_or_nothing(
+        writes in prop::collection::vec((0..16usize, 0..1_000u64), 1..24),
+        abort_at in prop::option::of(0..24usize),
+    ) {
+        use pto::htm::{transaction, TxWord};
+        let words: Vec<TxWord> = (0..16).map(|_| TxWord::new(0)).collect();
+        let before: Vec<u64> = words.iter().map(|w| w.peek()).collect();
+        let r = transaction(|tx| {
+            for (i, (slot, val)) in writes.iter().enumerate() {
+                if Some(i) == abort_at {
+                    return Err(tx.abort(7));
+                }
+                tx.write(&words[*slot], *val)?;
+            }
+            Ok(())
+        });
+        let after: Vec<u64> = words.iter().map(|w| w.peek()).collect();
+        match r {
+            Ok(()) => {
+                // Last write per slot wins.
+                let mut want = before.clone();
+                for (slot, val) in &writes {
+                    if abort_at.is_none() || writes.len() <= abort_at.unwrap() {
+                        want[*slot] = *val;
+                    }
+                }
+                if abort_at.is_none() || abort_at.unwrap() >= writes.len() {
+                    prop_assert_eq!(after, want);
+                }
+            }
+            Err(_) => prop_assert_eq!(after, before, "aborted tx leaked writes"),
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end simulator sanity: the virtual-time gate must produce
+//! physically plausible scaling and preserve the paper's qualitative
+//! ordering on small workloads.
+
+use pto_bench::drivers::{mbench, pqbench, setbench};
+use pto_bench::report::average_trials;
+
+const OPS: u64 = 400;
+
+#[test]
+fn scalable_structures_scale_in_virtual_time() {
+    // Hash table, lookup-heavy: 8 virtual threads must deliver well more
+    // throughput than 1 (near-disjoint buckets ⇒ near-linear).
+    let t1 = average_trials(2, |s| {
+        setbench(
+            || pto::hashtable::FSetHashTable::new(pto::hashtable::HashVariant::LockFree, 1024),
+            1,
+            OPS,
+            65_536,
+            80,
+            s,
+        )
+    });
+    let t8 = average_trials(2, |s| {
+        setbench(
+            || pto::hashtable::FSetHashTable::new(pto::hashtable::HashVariant::LockFree, 1024),
+            8,
+            OPS,
+            65_536,
+            80,
+            s,
+        )
+    });
+    assert!(
+        t8 > 4.0 * t1,
+        "8-thread hash throughput ({t8:.0}) should be ≫ 1-thread ({t1:.0})"
+    );
+    // And it cannot exceed perfect linear scaling (throughput is work
+    // conserving in virtual time).
+    assert!(
+        t8 < 9.0 * t1,
+        "superlinear scaling smells like a makespan bug: {t8:.0} vs {t1:.0}"
+    );
+}
+
+#[test]
+fn pto_beats_lockfree_on_the_bst_write_workload() {
+    // The core Figure 3(a)/5(a) claim at 4 threads, as a regression gate.
+    let lf = average_trials(2, |s| {
+        setbench(
+            || pto::bst::Bst::new(pto::bst::BstVariant::LockFree),
+            4,
+            OPS,
+            512,
+            0,
+            s,
+        )
+    });
+    let pt = average_trials(2, |s| {
+        setbench(
+            || pto::bst::Bst::new(pto::bst::BstVariant::Pto1Pto2),
+            4,
+            OPS,
+            512,
+            0,
+            s,
+        )
+    });
+    assert!(
+        pt > 1.1 * lf,
+        "composed PTO ({pt:.0}) should clearly beat lock-free ({lf:.0})"
+    );
+}
+
+#[test]
+fn mound_pto_beats_lockfree_on_pqbench() {
+    let lf = average_trials(2, |s| {
+        pqbench(|| pto::mound::Mound::new_lockfree(16), 4, OPS, 4096, s)
+    });
+    let pt = average_trials(2, |s| {
+        pqbench(|| pto::mound::Mound::new_pto(16), 4, OPS, 4096, s)
+    });
+    assert!(
+        pt > lf,
+        "PTO mound ({pt:.0}) should beat lock-free ({lf:.0})"
+    );
+}
+
+#[test]
+fn mindicator_pto_tracks_or_beats_tle() {
+    // Figure 2(a)'s key qualitative property at 8 threads: PTO ≥ TLE
+    // (TLE's locking fallback costs it under contention).
+    let tle = average_trials(2, |s| {
+        mbench(|| pto::mindicator::TleMindicator::new(64), 8, OPS, 65_536, s)
+    });
+    let pt = average_trials(2, |s| {
+        mbench(|| pto::mindicator::PtoMindicator::new(64), 8, OPS, 65_536, s)
+    });
+    assert!(
+        pt > 0.9 * tle,
+        "PTO mindicator ({pt:.0}) should track/beat TLE ({tle:.0})"
+    );
+}
+
+#[test]
+fn skiplist_pto_does_not_significantly_slow_down() {
+    // §4.3/§7: "Even when the methodology did not improve performance, we
+    // did not observe any significant slowdowns."
+    let lf = average_trials(2, |s| {
+        setbench(pto::skiplist::SkipListSet::new_lockfree, 4, OPS, 512, 34, s)
+    });
+    let pt = average_trials(2, |s| {
+        setbench(pto::skiplist::SkipListSet::new_pto, 4, OPS, 512, 34, s)
+    });
+    assert!(
+        pt > 0.85 * lf,
+        "skiplist PTO ({pt:.0}) regressed too far vs lock-free ({lf:.0})"
+    );
+}
