@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Pre-merge check: hermeticity gate + the tier-1 verify from ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+./ci/check_hermetic.sh
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q

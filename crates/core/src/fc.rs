@@ -16,8 +16,8 @@
 //! iterations; the combiner charges a load/store per serviced slot plus
 //! whatever the caller's `apply` charges for the sequential operation.
 
-use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
+use pto_sim::pad::CachePadded;
+use pto_sim::sync::Mutex;
 use pto_sim::{charge, CostKind};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

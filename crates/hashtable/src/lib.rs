@@ -26,7 +26,7 @@
 //! Bucket word layout: `[count:29][array idx:32][frozen:1]`; bucket
 //! generations live in an append-only registry so readers never lock.
 
-use parking_lot::Mutex;
+use pto_sim::sync::Mutex;
 use pto_core::policy::{pto, PtoPolicy, PtoStats};
 use pto_core::ConcurrentSet;
 use pto_htm::{TxResult, TxWord, Txn};

@@ -14,7 +14,7 @@
 //! charges `EpochUnpin`. PTO fast paths do not pin at all; see the crate
 //! docs for why that is safe on this substrate.
 
-use crossbeam_utils::CachePadded;
+use pto_sim::pad::CachePadded;
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -14,8 +14,8 @@
 //! thread's hazard slot holds it.
 
 use crate::pool::Pool;
-use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
+use pto_sim::pad::CachePadded;
+use pto_sim::sync::Mutex;
 use pto_sim::{charge, CostKind};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -15,7 +15,7 @@
 //! plain atomics/locks that charge nothing.
 
 use crate::epoch;
-use parking_lot::Mutex;
+use pto_sim::sync::Mutex;
 use pto_sim::{charge, charge_n, CostKind};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};

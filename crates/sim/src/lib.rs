@@ -20,16 +20,26 @@
 //!   aborts, and helping arise from genuine interleavings.
 //! * [`stats`] — cache-padded atomic counters used across the workspace.
 //! * [`rng`] — a tiny, dependency-free xorshift PRNG for in-library
-//!   randomness (e.g. skiplist tower heights).
+//!   randomness (e.g. skiplist tower heights) and workload generation.
+//! * [`pad`] — `CachePadded`, the in-tree `crossbeam_utils` replacement.
+//! * [`sync`] — `parking_lot`-style `Mutex`/`Condvar` shims over `std::sync`.
+//! * [`proptest`] — proptest-lite, the in-tree property-test harness used by
+//!   every crate's differential-oracle suites.
+//!
+//! The whole workspace builds hermetically: these modules exist precisely so
+//! the default dependency graph contains no crates-io packages.
 //!
 //! Throughput is reported as `ops / makespan` where `makespan` is the
 //! maximum final virtual clock, converted to ops/ms at the paper's 3.4 GHz.
 
 pub mod clock;
 pub mod cost;
+pub mod pad;
+pub mod proptest;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod sync;
 
 pub use clock::{charge, charge_cycles, charge_n, now};
 pub use cost::CostKind;

@@ -1,0 +1,654 @@
+//! proptest-lite: a small in-tree property-testing harness.
+//!
+//! Replaces the `proptest` crate in this workspace so the default build is
+//! hermetic (zero crates-io dependencies). It keeps the three properties the
+//! differential-oracle suites actually rely on:
+//!
+//! 1. **Strategy-style generators** for integers, vectors, tuples, options
+//!    and (via [`Strategy::map`] + [`one_of`]) enums of operations.
+//! 2. **Seeded, reproducible runs**: generation is driven by the workspace
+//!    [`XorShift64`](crate::rng::XorShift64) PRNG from a fixed default seed;
+//!    the seed and failing case index are printed on failure and can be
+//!    overridden with `PTO_PROPTEST_SEED`.
+//! 3. **Greedy shrinking**: on failure the harness walks a lazy shrink tree
+//!    (integers binary-search toward their lower bound, vectors drop chunks
+//!    then single elements then shrink elements in place) and reports the
+//!    smallest counterexample it can still make fail.
+//!
+//! Environment overrides:
+//!
+//! * `PTO_PROPTEST_CASES` — cases per property (default 64).
+//! * `PTO_PROPTEST_SEED` — base seed, decimal or `0x…` hex.
+//! * `PTO_PROPTEST_MAX_SHRINK` — shrink-evaluation budget (default 4096).
+
+use crate::rng::XorShift64;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Shrinkable value trees
+// ---------------------------------------------------------------------------
+
+/// A generated value plus a lazy enumeration of simpler candidates.
+///
+/// Mirrors proptest's `ValueTree`: shrink candidates are themselves
+/// [`Shrinkable`], so the runner can descend greedily — take the first
+/// candidate that still fails, re-enumerate from there, repeat.
+pub struct Shrinkable<V> {
+    /// The concrete generated value.
+    pub value: V,
+    shrink: Rc<dyn Fn() -> Vec<Shrinkable<V>>>,
+}
+
+impl<V: Clone> Clone for Shrinkable<V> {
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<V> Shrinkable<V> {
+    /// A value with no simpler forms.
+    pub fn leaf(value: V) -> Self
+    where
+        V: 'static,
+    {
+        Shrinkable {
+            value,
+            shrink: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value whose shrink candidates are produced on demand by `shrink`.
+    pub fn new(value: V, shrink: impl Fn() -> Vec<Shrinkable<V>> + 'static) -> Self {
+        Shrinkable {
+            value,
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Enumerate simpler candidates, most aggressive first.
+    pub fn shrinks(&self) -> Vec<Shrinkable<V>> {
+        (self.shrink)()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating shrinkable values of one type.
+pub trait Strategy {
+    type Value: Clone + Debug + 'static;
+
+    /// Draw one value tree from `rng`.
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<Self::Value>;
+
+    /// Transform generated values; shrinking happens on the *source* values
+    /// and is re-mapped, so mapped enums shrink through their payloads.
+    fn map<U, F>(self, f: F) -> Map<Self, U>
+    where
+        Self: Sized,
+        U: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erase for heterogeneous collections ([`one_of`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Rc::new(self)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub type BoxedStrategy<V> = Rc<dyn Strategy<Value = V>>;
+
+impl<V: Clone + Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<V> {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces `value`; never shrinks.
+pub fn just<V: Clone + Debug + 'static>(value: V) -> Just<V> {
+    Just(value)
+}
+
+pub struct Just<V>(V);
+
+impl<V: Clone + Debug + 'static> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut XorShift64) -> Shrinkable<V> {
+        Shrinkable::leaf(self.0.clone())
+    }
+}
+
+/// Uniform `u64` in `[range.start, range.end)`, shrinking toward the start.
+pub fn range_u64(range: Range<u64>) -> RangeU64 {
+    assert!(range.start < range.end, "empty range");
+    RangeU64 { range }
+}
+
+pub struct RangeU64 {
+    range: Range<u64>,
+}
+
+impl Strategy for RangeU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<u64> {
+        let v = self.range.start + rng.below(self.range.end - self.range.start);
+        int_tree(v, self.range.start)
+    }
+}
+
+/// Binary-search descent toward `lo`. The `v - 1` candidate carries floor
+/// `mid`: the greedy runner only reaches it after `lo` and `mid` passed, so
+/// the next level can bisect `(mid, v-1]` instead of re-testing from `lo`.
+/// Convergence to the exact failure boundary is O(log range).
+fn int_tree(v: u64, lo: u64) -> Shrinkable<u64> {
+    Shrinkable::new(v, move || {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(int_tree(lo, lo));
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(int_tree(mid, lo));
+            }
+            if v - 1 > mid {
+                out.push(int_tree(v - 1, mid));
+            }
+        }
+        out
+    })
+}
+
+/// Uniform `usize` in `[range.start, range.end)`, shrinking toward the start.
+pub fn range_usize(range: Range<usize>) -> Map<RangeU64, usize> {
+    range_u64(range.start as u64..range.end as u64).map(|v| v as usize)
+}
+
+/// Uniform `u32` in `[range.start, range.end)`, shrinking toward the start.
+pub fn range_u32(range: Range<u32>) -> Map<RangeU64, u32> {
+    range_u64(range.start as u64..range.end as u64).map(|v| v as u32)
+}
+
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> U>,
+}
+
+impl<S: Strategy, U: Clone + Debug + 'static> Strategy for Map<S, U> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<U> {
+        map_tree(self.inner.generate(rng), Rc::clone(&self.f))
+    }
+}
+
+fn map_tree<T: Clone + Debug + 'static, U: Clone + Debug + 'static>(
+    tree: Shrinkable<T>,
+    f: Rc<dyn Fn(T) -> U>,
+) -> Shrinkable<U> {
+    let value = f(tree.value.clone());
+    Shrinkable::new(value, move || {
+        tree.shrinks()
+            .into_iter()
+            .map(|c| map_tree(c, Rc::clone(&f)))
+            .collect()
+    })
+}
+
+/// Pick uniformly among `options` (the `prop_oneof!` replacement); shrinking
+/// stays within the chosen branch.
+pub fn one_of<V: Clone + Debug + 'static>(options: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+    assert!(!options.is_empty(), "one_of needs at least one option");
+    OneOf { options }
+}
+
+pub struct OneOf<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug + 'static> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<V> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// `None` one time in four, otherwise `Some(inner)`; `Some` shrinks to
+/// `None` first, then through the payload.
+pub fn option_of<S: Strategy>(inner: S) -> OptionOf<S> {
+    OptionOf { inner }
+}
+
+pub struct OptionOf<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionOf<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<Option<S::Value>> {
+        if rng.chance(1, 4) {
+            Shrinkable::leaf(None)
+        } else {
+            option_tree(self.inner.generate(rng))
+        }
+    }
+}
+
+fn option_tree<T: Clone + Debug + 'static>(t: Shrinkable<T>) -> Shrinkable<Option<T>> {
+    let value = Some(t.value.clone());
+    Shrinkable::new(value, move || {
+        let mut out = vec![Shrinkable::leaf(None)];
+        out.extend(t.shrinks().into_iter().map(option_tree));
+        out
+    })
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<Self::Value> {
+        pair_tree(self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+fn pair_tree<A: Clone + Debug + 'static, B: Clone + Debug + 'static>(
+    a: Shrinkable<A>,
+    b: Shrinkable<B>,
+) -> Shrinkable<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Shrinkable::new(value, move || {
+        let mut out: Vec<_> = a
+            .shrinks()
+            .into_iter()
+            .map(|ca| pair_tree(ca, b.clone()))
+            .collect();
+        out.extend(b.shrinks().into_iter().map(|cb| pair_tree(a.clone(), cb)));
+        out
+    })
+}
+
+/// Vector of `elem` draws with length in `[len.start, len.end)`. Shrinks by
+/// dropping chunks (largest first, down to `len.start` elements), then by
+/// shrinking individual elements in place.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecOf { elem, len }
+}
+
+pub struct VecOf<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut XorShift64) -> Shrinkable<Vec<S::Value>> {
+        let n = self.len.start
+            + rng.below((self.len.end - self.len.start) as u64) as usize;
+        let elems: Vec<_> = (0..n).map(|_| self.elem.generate(rng)).collect();
+        vec_tree(Rc::new(elems), self.len.start)
+    }
+}
+
+fn vec_tree<T: Clone + Debug + 'static>(
+    elems: Rc<Vec<Shrinkable<T>>>,
+    min_len: usize,
+) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|e| e.value.clone()).collect();
+    Shrinkable::new(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        if n > min_len {
+            // Chunk removals, most aggressive (everything removable) first.
+            let mut chunk = n - min_len;
+            loop {
+                let mut start = 0;
+                while start + chunk <= n {
+                    let mut rest = Vec::with_capacity(n - chunk);
+                    rest.extend_from_slice(&elems[..start]);
+                    rest.extend_from_slice(&elems[start + chunk..]);
+                    out.push(vec_tree(Rc::new(rest), min_len));
+                    start += chunk;
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+        // Per-element shrinks.
+        for i in 0..n {
+            for cand in elems[i].shrinks() {
+                let mut copy = (*elems).clone();
+                copy[i] = cand;
+                out.push(vec_tree(Rc::new(copy), min_len));
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; see the module docs for the env overrides.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Cases generated per property.
+    pub cases: u32,
+    /// Base PRNG seed; the whole run is a deterministic function of it.
+    pub seed: u64,
+    /// Max property evaluations spent shrinking one failure.
+    pub max_shrink_evals: u32,
+}
+
+/// Default base seed: runs are reproducible without any env setup.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: DEFAULT_SEED,
+            max_shrink_evals: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Defaults overridden by `PTO_PROPTEST_{CASES,SEED,MAX_SHRINK}`.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(v) = env_u64("PTO_PROPTEST_CASES") {
+            cfg.cases = v as u32;
+        }
+        if let Some(v) = env_u64("PTO_PROPTEST_SEED") {
+            cfg.seed = v;
+        }
+        if let Some(v) = env_u64("PTO_PROPTEST_MAX_SHRINK") {
+            cfg.max_shrink_evals = v as u32;
+        }
+        cfg
+    }
+
+    /// `from_env`, but with a different default case count (env still wins).
+    pub fn with_cases(cases: u32) -> Self {
+        let mut cfg = Config::from_env();
+        if std::env::var_os("PTO_PROPTEST_CASES").is_none() {
+            cfg.cases = cases;
+        }
+        cfg
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    parse_u64(&std::env::var(key).ok()?)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+/// Run `prop` (which signals failure by panicking, e.g. via `assert!`)
+/// against `cases` draws from `strategy`. On failure, shrink greedily and
+/// panic with the minimal counterexample, the seed, and the case index.
+pub fn check<S: Strategy>(
+    cfg: &Config,
+    name: &str,
+    strategy: &S,
+    prop: impl Fn(&S::Value),
+) {
+    let mut rng = XorShift64::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let tree = strategy.generate(&mut rng);
+        if let Err(msg) = eval(&prop, &tree.value) {
+            let (minimal, evals) = minimize(tree, &prop, cfg.max_shrink_evals);
+            panic!(
+                "proptest-lite: property '{name}' failed at case {case}/{cases} \
+                 (seed=0x{seed:016x}; rerun with PTO_PROPTEST_SEED=0x{seed:x})\n\
+                 minimal counterexample after {evals} shrink evals:\n  {min:?}\n\
+                 original failure: {msg}",
+                cases = cfg.cases,
+                seed = cfg.seed,
+                min = minimal.value,
+            );
+        }
+    }
+}
+
+/// One guarded property evaluation; `Err` carries the panic message.
+fn eval<V>(prop: &impl Fn(&V), value: &V) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".into())),
+    }
+}
+
+/// Greedy descent: repeatedly move to the first shrink candidate that still
+/// fails, until no candidate fails or the evaluation budget runs out.
+/// Exposed so the shrinker itself can be meta-tested.
+pub fn minimize<V: Clone + Debug>(
+    mut current: Shrinkable<V>,
+    prop: &impl Fn(&V),
+    budget: u32,
+) -> (Shrinkable<V>, u32) {
+    let mut evals = 0u32;
+    'descend: loop {
+        for cand in current.shrinks() {
+            if evals >= budget {
+                break 'descend;
+            }
+            evals += 1;
+            if eval(prop, &cand.value).is_err() {
+                current = cand;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, evals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_fixed_seed() {
+        let s = vec_of(range_u64(0..1000), 1..50);
+        let a: Vec<Vec<u64>> = {
+            let mut rng = XorShift64::new(77);
+            (0..10).map(|_| s.generate(&mut rng).value).collect()
+        };
+        let b: Vec<Vec<u64>> = {
+            let mut rng = XorShift64::new(77);
+            (0..10).map(|_| s.generate(&mut rng).value).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int_shrink_finds_exact_boundary() {
+        // Property: v < 500. The shrinker must find exactly 500, the
+        // smallest failing value, via binary descent — not just "something
+        // smaller".
+        let mut rng = XorShift64::new(1);
+        let s = range_u64(0..100_000);
+        let prop = |v: &u64| assert!(*v < 500);
+        let mut checked = 0;
+        loop {
+            let tree = s.generate(&mut rng);
+            if tree.value >= 500 {
+                let (min, evals) = minimize(tree, &prop, 4096);
+                assert_eq!(min.value, 500);
+                // O(log range), not a linear walk.
+                assert!(evals < 200, "took {evals} evals");
+                checked += 1;
+                if checked == 5 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vec_shrink_reduces_to_minimal_counterexample() {
+        // Property fails iff the vec contains an element >= 500. Minimal
+        // counterexample is the single vec [500].
+        let s = vec_of(range_u64(0..1000), 0..40);
+        let prop = |v: &Vec<u64>| assert!(v.iter().all(|&x| x < 500));
+        let mut rng = XorShift64::new(3);
+        let mut shrunk = 0;
+        while shrunk < 5 {
+            let tree = s.generate(&mut rng);
+            if prop_fails(&prop, &tree.value) {
+                let (min, _) = minimize(tree, &prop, 4096);
+                assert_eq!(min.value, vec![500]);
+                shrunk += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_enum_shrinks_through_payload() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Op {
+            A(u64),
+            B(u64),
+        }
+        let s = vec_of(
+            one_of(vec![
+                range_u64(0..1000).map(Op::A).boxed(),
+                range_u64(0..1000).map(Op::B).boxed(),
+            ]),
+            0..30,
+        );
+        // Fails iff some B has payload >= 100; minimal case is [B(100)].
+        let prop = |v: &Vec<Op>| {
+            assert!(v.iter().all(|op| !matches!(op, Op::B(x) if *x >= 100)));
+        };
+        let mut rng = XorShift64::new(9);
+        let mut shrunk = 0;
+        while shrunk < 3 {
+            let tree = s.generate(&mut rng);
+            if prop_fails(&prop, &tree.value) {
+                let (min, _) = minimize(tree, &prop, 8192);
+                assert_eq!(min.value, vec![Op::B(100)]);
+                shrunk += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn option_and_tuple_strategies_generate_in_bounds() {
+        let s = vec_of(option_of((range_usize(0..16), range_u64(0..1000))), 1..24);
+        let mut rng = XorShift64::new(11);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..50 {
+            for v in s.generate(&mut rng).value {
+                match v {
+                    None => saw_none = true,
+                    Some((slot, val)) => {
+                        saw_some = true;
+                        assert!(slot < 16 && val < 1000);
+                    }
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn vec_respects_min_len_when_shrinking() {
+        let s = vec_of(range_u64(0..10), 3..20);
+        // Always fails: the shrinker must stop at the 3-element floor.
+        let prop = |_: &Vec<u64>| panic!("always fails");
+        let mut rng = XorShift64::new(4);
+        let tree = s.generate(&mut rng);
+        let (min, _) = minimize(tree, &prop, 2048);
+        assert_eq!(min.value.len(), 3);
+        assert!(min.value.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_u64("123"), Some(123));
+        assert_eq!(parse_u64("0xff"), Some(255));
+        assert_eq!(parse_u64("0x5EED_CAFE_F00D_0001"), Some(DEFAULT_SEED));
+        assert_eq!(parse_u64(" 42 "), Some(42));
+        assert_eq!(parse_u64("nope"), None);
+    }
+
+    #[test]
+    fn check_passes_a_trivially_true_property() {
+        let cfg = Config {
+            cases: 64,
+            seed: 123,
+            max_shrink_evals: 64,
+        };
+        check(&cfg, "sum_is_bounded", &vec_of(range_u64(0..10), 0..10), |v| {
+            assert!(v.iter().sum::<u64>() <= 90);
+        });
+    }
+
+    #[test]
+    fn check_reports_seed_and_minimal_case_on_failure() {
+        let cfg = Config {
+            cases: 64,
+            seed: 99,
+            max_shrink_evals: 4096,
+        };
+        let r = std::panic::catch_unwind(|| {
+            check(&cfg, "doomed", &vec_of(range_u64(0..1000), 0..40), |v| {
+                assert!(v.iter().all(|&x| x < 500));
+            });
+        });
+        let msg = match r {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic message is a String"),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("seed=0x0000000000000063"), "msg: {msg}");
+        assert!(msg.contains("PTO_PROPTEST_SEED"), "msg: {msg}");
+        assert!(msg.contains("[500]"), "msg: {msg}");
+    }
+
+    fn prop_fails<V>(prop: &impl Fn(&V), v: &V) -> bool {
+        eval(prop, v).is_err()
+    }
+}

@@ -12,8 +12,8 @@
 //! waiters if the minimum advanced, and blocks if it is itself too far
 //! ahead. Finished lanes publish `u64::MAX` so they never hold others back.
 
-use crossbeam_utils::CachePadded;
-use parking_lot::{Condvar, Mutex};
+use crate::pad::CachePadded;
+use crate::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

@@ -1,6 +1,6 @@
 //! Cache-padded atomic counters for throughput and event statistics.
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing event counter, padded to its own cache line so

@@ -1,13 +1,28 @@
 //! Property-based differential tests: arbitrary operation sequences against
 //! model oracles, for every structure and PTO variant.
+//!
+//! Runs on the in-tree proptest-lite harness (`pto_sim::proptest`): 64
+//! shrink-capable cases per structure by default, deterministic from a fixed
+//! seed, with `PTO_PROPTEST_CASES`/`PTO_PROPTEST_SEED` overrides. On failure
+//! the harness prints the seed, the failing case index and a greedily
+//! shrunk minimal operation sequence.
 
-use proptest::prelude::*;
 use pto::bst::{Bst, BstVariant};
-use pto::core::{ConcurrentSet, PriorityQueue, Quiescence};
+use pto::core::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
 use pto::hashtable::{FSetHashTable, HashVariant};
+use pto::list::{HarrisList, ListVariant};
 use pto::mound::Mound;
+use pto::msqueue::MsQueue;
+use pto::sim::proptest::{
+    check, one_of, option_of, range_u64, range_usize, vec_of, Config, Strategy,
+};
 use pto::skiplist::{SkipListSet, SkipQueue};
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Cases per property: the differential suites' baseline (env can raise it).
+fn cfg() -> Config {
+    Config::with_cases(64)
+}
 
 #[derive(Clone, Debug)]
 enum SetOp {
@@ -17,12 +32,12 @@ enum SetOp {
 }
 
 fn set_ops(max_key: u64) -> impl Strategy<Value = Vec<SetOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..max_key).prop_map(SetOp::Insert),
-            (0..max_key).prop_map(SetOp::Remove),
-            (0..max_key).prop_map(SetOp::Contains),
-        ],
+    vec_of(
+        one_of(vec![
+            range_u64(0..max_key).map(SetOp::Insert).boxed(),
+            range_u64(0..max_key).map(SetOp::Remove).boxed(),
+            range_u64(0..max_key).map(SetOp::Contains).boxed(),
+        ]),
         1..400,
     )
 }
@@ -39,38 +54,82 @@ fn check_set(s: &dyn ConcurrentSet, ops: &[SetOp]) {
     assert_eq!(s.len(), oracle.len());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn bst_all_variants_match_btreeset(ops in set_ops(64)) {
+#[test]
+fn bst_all_variants_match_btreeset() {
+    check(&cfg(), "bst_all_variants_match_btreeset", &set_ops(64), |ops| {
         for v in [BstVariant::LockFree, BstVariant::Pto1, BstVariant::Pto2, BstVariant::Pto1Pto2] {
             let t = Bst::new(v);
-            check_set(&t, &ops);
+            check_set(&t, ops);
             t.check_structure().unwrap();
         }
-    }
+    });
+}
 
-    #[test]
-    fn skiplist_variants_match_btreeset(ops in set_ops(64)) {
-        check_set(&SkipListSet::new_lockfree(), &ops);
-        check_set(&SkipListSet::new_pto(), &ops);
-    }
+#[test]
+fn skiplist_variants_match_btreeset() {
+    check(&cfg(), "skiplist_variants_match_btreeset", &set_ops(64), |ops| {
+        check_set(&SkipListSet::new_lockfree(), ops);
+        check_set(&SkipListSet::new_pto(), ops);
+    });
+}
 
-    #[test]
-    fn hashtable_variants_match_btreeset(ops in set_ops(64)) {
+#[test]
+fn hashtable_variants_match_btreeset() {
+    check(&cfg(), "hashtable_variants_match_btreeset", &set_ops(64), |ops| {
         for v in [HashVariant::LockFree, HashVariant::Pto, HashVariant::PtoInplace] {
-            check_set(&FSetHashTable::new(v, 2), &ops);
+            check_set(&FSetHashTable::new(v, 2), ops);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pq_variants_match_binaryheap(ops in prop::collection::vec(
-        prop_oneof![
-            (0..1_000u64).prop_map(Some),
-            Just(None),
-        ], 1..300))
-    {
+#[test]
+fn list_variants_match_btreeset() {
+    // DESIGN.md D7: the Harris list trades PTO granularity (whole-operation
+    // vs update-phase); all three variants must agree with the oracle.
+    check(&cfg(), "list_variants_match_btreeset", &set_ops(64), |ops| {
+        for v in [ListVariant::LockFree, ListVariant::PtoWhole, ListVariant::PtoUpdate] {
+            check_set(&HarrisList::new(v), ops);
+        }
+    });
+}
+
+#[test]
+fn msqueue_variants_match_vecdeque() {
+    // DESIGN.md D6: the Michael–Scott queue (lock-free and with the PTO
+    // front that elides double-checking/hazard upkeep) must stay FIFO.
+    let ops = vec_of(
+        one_of(vec![
+            range_u64(0..1_000).map(Some).boxed(),
+            pto::sim::proptest::just(None).boxed(),
+        ]),
+        1..400,
+    );
+    check(&cfg(), "msqueue_variants_match_vecdeque", &ops, |ops| {
+        for q in [MsQueue::new_lockfree(), MsQueue::new_pto()] {
+            let mut oracle: VecDeque<u64> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        q.enqueue(*v);
+                        oracle.push_back(*v);
+                    }
+                    None => assert_eq!(q.dequeue(), oracle.pop_front()),
+                }
+            }
+            assert_eq!(q.len(), oracle.len());
+            // Drain the residue in FIFO order.
+            while let Some(want) = oracle.pop_front() {
+                assert_eq!(q.dequeue(), Some(want));
+            }
+            assert!(q.is_empty());
+        }
+    });
+}
+
+#[test]
+fn pq_variants_match_binaryheap() {
+    let ops = vec_of(option_of(range_u64(0..1_000)), 1..300);
+    check(&cfg(), "pq_variants_match_binaryheap", &ops, |ops| {
         let qs: Vec<Box<dyn PriorityQueue>> = vec![
             Box::new(Mound::new_lockfree(12)),
             Box::new(Mound::new_pto(12)),
@@ -79,45 +138,57 @@ proptest! {
         ];
         for q in &qs {
             let mut oracle: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
-            for op in &ops {
+            for op in ops {
                 match op {
-                    Some(k) => { q.push(*k); oracle.push(std::cmp::Reverse(*k)); }
+                    Some(k) => {
+                        q.push(*k);
+                        oracle.push(std::cmp::Reverse(*k));
+                    }
                     None => assert_eq!(q.pop_min(), oracle.pop().map(|r| r.0)),
                 }
             }
             // Drain and compare the residue.
             let mut rest = Vec::new();
-            while let Some(v) = q.pop_min() { rest.push(v); }
+            while let Some(v) = q.pop_min() {
+                rest.push(v);
+            }
             let mut want: Vec<u64> = oracle.into_sorted_vec().into_iter().map(|r| r.0).collect();
             want.reverse(); // into_sorted_vec on Reverse yields descending keys
             assert_eq!(rest, want);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mindicator_quiescent_min_matches(values in prop::collection::vec(0..10_000u64, 1..32)) {
-        // Sequential arrive/depart pairs: after arrive(v) the min is ≤ v;
-        // after the matching depart the tree must be idle again.
+#[test]
+fn mindicator_quiescent_min_matches() {
+    // Sequential arrive/depart pairs: after arrive(v) the min is ≤ v;
+    // after the matching depart the tree must be idle again.
+    let values = vec_of(range_u64(0..10_000), 1..32);
+    check(&cfg(), "mindicator_quiescent_min_matches", &values, |values| {
         let m = pto::mindicator::PtoMindicator::new(64);
-        for &v in &values {
+        for &v in values {
             m.arrive(v);
-            prop_assert!(m.query() <= v);
+            assert!(m.query() <= v);
             m.depart();
-            prop_assert_eq!(m.query(), u64::MAX);
+            assert_eq!(m.query(), u64::MAX);
         }
-    }
+    });
+}
 
-    #[test]
-    fn htm_transactions_apply_all_or_nothing(
-        writes in prop::collection::vec((0..16usize, 0..1_000u64), 1..24),
-        abort_at in prop::option::of(0..24usize),
-    ) {
+#[test]
+fn htm_transactions_apply_all_or_nothing() {
+    let input = (
+        vec_of((range_usize(0..16), range_u64(0..1_000)), 1..24),
+        option_of(range_usize(0..24)),
+    );
+    check(&cfg(), "htm_transactions_apply_all_or_nothing", &input, |case| {
+        let (writes, abort_at) = case;
         use pto::htm::{transaction, TxWord};
         let words: Vec<TxWord> = (0..16).map(|_| TxWord::new(0)).collect();
         let before: Vec<u64> = words.iter().map(|w| w.peek()).collect();
         let r = transaction(|tx| {
             for (i, (slot, val)) in writes.iter().enumerate() {
-                if Some(i) == abort_at {
+                if Some(i) == *abort_at {
                     return Err(tx.abort(7));
                 }
                 tx.write(&words[*slot], *val)?;
@@ -129,16 +200,16 @@ proptest! {
             Ok(()) => {
                 // Last write per slot wins.
                 let mut want = before.clone();
-                for (slot, val) in &writes {
+                for (slot, val) in writes {
                     if abort_at.is_none() || writes.len() <= abort_at.unwrap() {
                         want[*slot] = *val;
                     }
                 }
                 if abort_at.is_none() || abort_at.unwrap() >= writes.len() {
-                    prop_assert_eq!(after, want);
+                    assert_eq!(after, want);
                 }
             }
-            Err(_) => prop_assert_eq!(after, before, "aborted tx leaked writes"),
+            Err(_) => assert_eq!(after, before, "aborted tx leaked writes"),
         }
-    }
+    });
 }
