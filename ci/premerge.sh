@@ -5,6 +5,9 @@ cd "$(dirname "$0")/.."
 
 ./ci/check_hermetic.sh
 
+echo "== lint: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

@@ -2,7 +2,16 @@
 fn main() {
     let t = pto_bench::figs::retry_sweep();
     println!("{}", t.render());
+    // Per-threshold abort-cause mix: the diagnostic the paper's retry
+    // tuning (§3.1, §4.2) is based on — watch the cause balance move as
+    // the attempt budget grows.
+    println!("{}", t.render_causes_by_axis());
     t.write_csv("retry_sweep").expect("write results/retry_sweep.csv");
     let h = pto_htm::snapshot();
-    println!("HTM: {} begins, {} commits ({:.1}% commit rate)", h.begins, h.commits, 100.0 * h.commit_rate());
+    println!(
+        "HTM: {} begins, {} commits ({:.1}% commit rate)",
+        h.begins,
+        h.commits,
+        100.0 * h.commit_rate()
+    );
 }

@@ -8,19 +8,12 @@ use pto_bench::report::Table;
 fn show(t: &Table, name: &str) {
     println!("{}", t.render());
     print!("{}", t.sparklines());
-    let h = pto_htm::snapshot();
-    if h.begins > 0 {
-        println!(
-            "   [htm this figure: {} begins, {:.1}% commits; aborts {} conflict / {} capacity / {} explicit]",
-            h.begins,
-            100.0 * h.commit_rate(),
-            h.aborts_conflict,
-            h.aborts_capacity,
-            h.aborts_explicit
-        );
-    }
+    // Per-series abort-cause and reclamation attribution, measured by the
+    // figure harness through scoped snapshot deltas.
+    print!("{}", t.render_causes());
     println!();
     pto_htm::reset_stats();
+    pto_mem::counters::reset();
     if let Err(e) = t.write_csv(name) {
         eprintln!("warning: could not write results/{name}.csv: {e}");
     }

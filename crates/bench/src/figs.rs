@@ -19,6 +19,20 @@ const MOUND_DEPTH: u32 = 16;
 const PQ_RANGE: u64 = 4096;
 const M_RANGE: u64 = 65_536;
 
+/// Measure one (axis, series) cell: run the trials and attribute the HTM
+/// and reclamation events they caused to the cell via scoped snapshot
+/// deltas (exact because a figure's series run sequentially). This is what
+/// fills [`Table::render_causes`]/[`Table::render_causes_by_axis`].
+pub fn probe(t: &mut Table, axis: usize, series: &str, tr: u32, f: impl FnMut(u64) -> f64) -> f64 {
+    let h0 = pto_htm::snapshot();
+    let m0 = pto_mem::counters::snapshot();
+    let v = average_trials(tr, f);
+    let htm = pto_htm::snapshot().delta(&h0);
+    let mem = pto_mem::counters::snapshot().delta(&m0);
+    t.push_cause(axis, series, htm, mem);
+    v
+}
+
 /// Figure 2(a): Mindicator, 64 leaves, arrive/depart pairs.
 pub fn fig2a() -> Table {
     let (ops, tr) = (ops_per_thread(), trials());
@@ -27,9 +41,15 @@ pub fn fig2a() -> Table {
         &["lockfree", "pto", "tle"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| mbench(|| LockFreeMindicator::new(64), n, ops, M_RANGE, s));
-        let pt = average_trials(tr, |s| mbench(|| PtoMindicator::new(64), n, ops, M_RANGE, s));
-        let tle = average_trials(tr, |s| mbench(|| TleMindicator::new(64), n, ops, M_RANGE, s));
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
+            mbench(|| LockFreeMindicator::new(64), n, ops, M_RANGE, s)
+        });
+        let pt = probe(&mut t, n, "pto", tr, |s| {
+            mbench(|| PtoMindicator::new(64), n, ops, M_RANGE, s)
+        });
+        let tle = probe(&mut t, n, "tle", tr, |s| {
+            mbench(|| TleMindicator::new(64), n, ops, M_RANGE, s)
+        });
         t.push(n, vec![lf, pt, tle]);
     }
     t
@@ -43,10 +63,18 @@ pub fn fig2b() -> Table {
         &["mound-lf", "mound-pto", "skipq-lf", "skipq-pto"],
     );
     for &n in &THREADS {
-        let mlf = average_trials(tr, |s| pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s));
-        let mpt = average_trials(tr, |s| pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s));
-        let slf = average_trials(tr, |s| pqbench(SkipQueue::new_lockfree, n, ops, PQ_RANGE, s));
-        let spt = average_trials(tr, |s| pqbench(SkipQueue::new_pto, n, ops, PQ_RANGE, s));
+        let mlf = probe(&mut t, n, "mound-lf", tr, |s| {
+            pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s)
+        });
+        let mpt = probe(&mut t, n, "mound-pto", tr, |s| {
+            pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s)
+        });
+        let slf = probe(&mut t, n, "skipq-lf", tr, |s| {
+            pqbench(SkipQueue::new_lockfree, n, ops, PQ_RANGE, s)
+        });
+        let spt = probe(&mut t, n, "skipq-pto", tr, |s| {
+            pqbench(SkipQueue::new_pto, n, ops, PQ_RANGE, s)
+        });
         t.push(n, vec![mlf, mpt, slf, spt]);
     }
     t
@@ -63,16 +91,18 @@ pub fn fig3() -> Vec<Table> {
             &["tree-lf", "tree-pto", "skip-lf", "skip-pto"],
         );
         for &n in &THREADS {
-            let blf = average_trials(tr, |s| {
+            let blf = probe(&mut t, n, "tree-lf", tr, |s| {
                 setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, lookup, s)
             });
-            let bpt = average_trials(tr, |s| {
+            let bpt = probe(&mut t, n, "tree-pto", tr, |s| {
                 setbench(|| Bst::new(BstVariant::Pto1Pto2), n, ops, 512, lookup, s)
             });
-            let slf = average_trials(tr, |s| {
+            let slf = probe(&mut t, n, "skip-lf", tr, |s| {
                 setbench(SkipListSet::new_lockfree, n, ops, 512, lookup, s)
             });
-            let spt = average_trials(tr, |s| setbench(SkipListSet::new_pto, n, ops, 512, lookup, s));
+            let spt = probe(&mut t, n, "skip-pto", tr, |s| {
+                setbench(SkipListSet::new_pto, n, ops, 512, lookup, s)
+            });
             t.push(n, vec![blf, bpt, slf, spt]);
         }
         tables.push(t);
@@ -90,7 +120,7 @@ pub fn fig4() -> Vec<Table> {
             &["hash-lf", "hash-pto", "hash-pto-inplace"],
         );
         for &n in &THREADS {
-            let lf = average_trials(tr, |s| {
+            let lf = probe(&mut t, n, "hash-lf", tr, |s| {
                 setbench(
                     || FSetHashTable::new(HashVariant::LockFree, 1024),
                     n,
@@ -100,7 +130,7 @@ pub fn fig4() -> Vec<Table> {
                     s,
                 )
             });
-            let pt = average_trials(tr, |s| {
+            let pt = probe(&mut t, n, "hash-pto", tr, |s| {
                 setbench(
                     || FSetHashTable::new(HashVariant::Pto, 1024),
                     n,
@@ -110,7 +140,7 @@ pub fn fig4() -> Vec<Table> {
                     s,
                 )
             });
-            let ip = average_trials(tr, |s| {
+            let ip = probe(&mut t, n, "hash-pto-inplace", tr, |s| {
                 setbench(
                     || FSetHashTable::new(HashVariant::PtoInplace, 1024),
                     n,
@@ -137,12 +167,16 @@ pub fn fig5a() -> Table {
         &["lockfree", "pto1", "pto2", "pto1+pto2"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| {
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
             setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, 0, s)
         });
-        let p1 = average_trials(tr, |s| setbench(|| Bst::new(BstVariant::Pto1), n, ops, 512, 0, s));
-        let p2 = average_trials(tr, |s| setbench(|| Bst::new(BstVariant::Pto2), n, ops, 512, 0, s));
-        let p12 = average_trials(tr, |s| {
+        let p1 = probe(&mut t, n, "pto1", tr, |s| {
+            setbench(|| Bst::new(BstVariant::Pto1), n, ops, 512, 0, s)
+        });
+        let p2 = probe(&mut t, n, "pto2", tr, |s| {
+            setbench(|| Bst::new(BstVariant::Pto2), n, ops, 512, 0, s)
+        });
+        let p12 = probe(&mut t, n, "pto1+pto2", tr, |s| {
             setbench(|| Bst::new(BstVariant::Pto1Pto2), n, ops, 512, 0, s)
         });
         t.push(n, vec![lf, p1, p2, p12]);
@@ -159,8 +193,10 @@ pub fn fig5b() -> Table {
         &["lockfree", "pto-fence", "pto-nofence"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s));
-        let fenced = average_trials(tr, |s| {
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
+            pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s)
+        });
+        let fenced = probe(&mut t, n, "pto-fence", tr, |s| {
             pqbench(
                 || Mound::new_pto_with(MOUND_DEPTH, PtoPolicy::with_attempts(4).keep_fences()),
                 n,
@@ -169,7 +205,9 @@ pub fn fig5b() -> Table {
                 s,
             )
         });
-        let nofence = average_trials(tr, |s| pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s));
+        let nofence = probe(&mut t, n, "pto-nofence", tr, |s| {
+            pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s)
+        });
         t.push(n, vec![lf, fenced, nofence]);
     }
     t
@@ -183,10 +221,10 @@ pub fn fig5c() -> Table {
         &["lockfree", "pto-fence", "pto-nofence"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| {
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
             setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, 0, s)
         });
-        let fenced = average_trials(tr, |s| {
+        let fenced = probe(&mut t, n, "pto-fence", tr, |s| {
             setbench(
                 || {
                     Bst::with_policies(
@@ -202,7 +240,7 @@ pub fn fig5c() -> Table {
                 s,
             )
         });
-        let nofence = average_trials(tr, |s| {
+        let nofence = probe(&mut t, n, "pto-nofence", tr, |s| {
             setbench(|| Bst::new(BstVariant::Pto1), n, ops, 512, 0, s)
         });
         t.push(n, vec![lf, fenced, nofence]);
@@ -220,7 +258,7 @@ pub fn retry_sweep() -> Table {
         &["mindicator", "mound", "bst-pto2"],
     );
     for &a in &attempts {
-        let mi = average_trials(tr, |s| {
+        let mi = probe(&mut t, a as usize, "mindicator", tr, |s| {
             mbench(
                 || PtoMindicator::with_policy(64, PtoPolicy::with_attempts(a)),
                 8,
@@ -229,7 +267,7 @@ pub fn retry_sweep() -> Table {
                 s,
             )
         });
-        let mo = average_trials(tr, |s| {
+        let mo = probe(&mut t, a as usize, "mound", tr, |s| {
             pqbench(
                 || Mound::new_pto_with(MOUND_DEPTH, PtoPolicy::with_attempts(a)),
                 8,
@@ -238,7 +276,7 @@ pub fn retry_sweep() -> Table {
                 s,
             )
         });
-        let b = average_trials(tr, |s| {
+        let b = probe(&mut t, a as usize, "bst-pto2", tr, |s| {
             setbench(
                 || {
                     Bst::with_policies(
@@ -268,12 +306,13 @@ pub fn ablation_capacity() -> Table {
         "ABLATION — BST PTO1 vs write-set capacity, 4 threads write-only (ops/ms)",
         &["lockfree", "cap512", "cap8", "cap3", "cap1"],
     );
-    let lf = average_trials(tr, |s| {
+    let lf = probe(&mut t, 4, "lockfree", tr, |s| {
         setbench(|| Bst::new(BstVariant::LockFree), 4, ops, 512, 0, s)
     });
     let mut vals = vec![lf];
     for cap in [512usize, 8, 3, 1] {
-        let v = average_trials(tr, |s| {
+        let series = format!("cap{cap}");
+        let v = probe(&mut t, 4, &series, tr, |s| {
             setbench(
                 || {
                     Bst::with_policies(
@@ -335,13 +374,13 @@ pub fn ablation_granularity() -> Table {
         ops_per_ms(total.load(std::sync::atomic::Ordering::Relaxed), out.makespan)
     }
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| {
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
             pqbench(|| Mound::new_lockfree(MOUND_DEPTH), n, ops, PQ_RANGE, s)
         });
-        let local = average_trials(tr, |s| {
+        let local = probe(&mut t, n, "pto-local(dcas)", tr, |s| {
             pqbench(|| Mound::new_pto(MOUND_DEPTH), n, ops, PQ_RANGE, s)
         });
-        let whole = average_trials(tr, |s| pq_whole(n, ops, s));
+        let whole = probe(&mut t, n, "pto-whole-op", tr, |s| pq_whole(n, ops, s));
         t.push(n, vec![lf, local, whole]);
     }
     t
@@ -358,13 +397,15 @@ pub fn extra_fc() -> Table {
         &["tree-lf", "tree-pto", "flat-combining"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| {
+        let lf = probe(&mut t, n, "tree-lf", tr, |s| {
             setbench(|| Bst::new(BstVariant::LockFree), n, ops, 512, 34, s)
         });
-        let pt = average_trials(tr, |s| {
+        let pt = probe(&mut t, n, "tree-pto", tr, |s| {
             setbench(|| Bst::new(BstVariant::Pto1Pto2), n, ops, 512, 34, s)
         });
-        let fc = average_trials(tr, |s| setbench(FcSet::new, n, ops, 512, 34, s));
+        let fc = probe(&mut t, n, "flat-combining", tr, |s| {
+            setbench(FcSet::new, n, ops, 512, 34, s)
+        });
         t.push(n, vec![lf, pt, fc]);
     }
     t
@@ -381,8 +422,12 @@ pub fn extra_queue() -> Table {
         &["lockfree", "pto"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| fifobench(MsQueue::new_lockfree, n, ops, 256, s));
-        let pt = average_trials(tr, |s| fifobench(MsQueue::new_pto, n, ops, 256, s));
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
+            fifobench(MsQueue::new_lockfree, n, ops, 256, s)
+        });
+        let pt = probe(&mut t, n, "pto", tr, |s| {
+            fifobench(MsQueue::new_pto, n, ops, 256, s)
+        });
         t.push(n, vec![lf, pt]);
     }
     t
@@ -398,13 +443,13 @@ pub fn extra_list() -> Table {
         &["lockfree", "pto-whole", "pto-update"],
     );
     for &n in &THREADS {
-        let lf = average_trials(tr, |s| {
+        let lf = probe(&mut t, n, "lockfree", tr, |s| {
             setbench(|| HarrisList::new(ListVariant::LockFree), n, ops, 128, 34, s)
         });
-        let w = average_trials(tr, |s| {
+        let w = probe(&mut t, n, "pto-whole", tr, |s| {
             setbench(|| HarrisList::new(ListVariant::PtoWhole), n, ops, 128, 34, s)
         });
-        let u = average_trials(tr, |s| {
+        let u = probe(&mut t, n, "pto-update", tr, |s| {
             setbench(|| HarrisList::new(ListVariant::PtoUpdate), n, ops, 128, 34, s)
         });
         t.push(n, vec![lf, w, u]);
@@ -422,10 +467,10 @@ pub fn ablation_help() -> Table {
         &["abort-to-fallback", "retry-anyway"],
     );
     for &n in &[2usize, 4, 8] {
-        let smart = average_trials(tr, |s| {
+        let smart = probe(&mut t, n, "abort-to-fallback", tr, |s| {
             setbench(SkipListSet::new_pto, n, ops, 16, 0, s)
         });
-        let stubborn = average_trials(tr, |s| {
+        let stubborn = probe(&mut t, n, "retry-anyway", tr, |s| {
             setbench(
                 || {
                     let mut p = PtoPolicy::with_attempts(3);

@@ -11,12 +11,26 @@ pub struct Row {
     pub values: Vec<f64>,
 }
 
+/// The HTM/reclamation events attributed to one (axis point, series) cell
+/// of a figure: scoped deltas of the process-global counters taken around
+/// that cell's trials (series run sequentially, so the delta is exact).
+#[derive(Clone, Debug)]
+pub struct CauseCell {
+    pub axis: usize,
+    pub series: String,
+    pub htm: pto_htm::HtmSnapshot,
+    pub mem: pto_mem::MemSnapshot,
+}
+
 /// A figure: named series over the threads axis.
 #[derive(Clone, Debug)]
 pub struct Table {
     pub title: String,
     pub series: Vec<String>,
     pub rows: Vec<Row>,
+    /// Per-cell abort-cause/reclamation attribution (optional; filled by
+    /// figure harnesses that measure through [`crate::figs::probe`]).
+    pub causes: Vec<CauseCell>,
 }
 
 impl Table {
@@ -25,12 +39,29 @@ impl Table {
             title: title.to_string(),
             series: series.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            causes: Vec::new(),
         }
     }
 
     pub fn push(&mut self, threads: usize, values: Vec<f64>) {
         assert_eq!(values.len(), self.series.len());
         self.rows.push(Row { threads, values });
+    }
+
+    /// Attach one cell's scoped counter deltas.
+    pub fn push_cause(
+        &mut self,
+        axis: usize,
+        series: &str,
+        htm: pto_htm::HtmSnapshot,
+        mem: pto_mem::MemSnapshot,
+    ) {
+        self.causes.push(CauseCell {
+            axis,
+            series: series.to_string(),
+            htm,
+            mem,
+        });
     }
 
     /// Render an aligned text table with ratio columns against the first
@@ -87,6 +118,95 @@ impl Table {
         out
     }
 
+    /// Abort-cause breakdown aggregated per series (all axis points
+    /// merged): begins, commit rate, the five cause columns, and the
+    /// reclamation counters. Empty string when no cells were attached.
+    pub fn render_causes(&self) -> String {
+        if self.causes.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### abort causes — {}", self.title);
+        let _ = writeln!(
+            out,
+            "{:>16}{:>10}{:>8}{:>10}{:>10}{:>10}{:>8}{:>10}{:>8}{:>8}{:>8}{:>8}",
+            "series",
+            "begins",
+            "commit%",
+            "conflict",
+            "capacity",
+            "explicit",
+            "nested",
+            "spurious",
+            "epochs",
+            "scans",
+            "reclaim",
+            "orphans"
+        );
+        for s in &self.series {
+            let (htm, mem) = self.merged_for(s);
+            let _ = writeln!(
+                out,
+                "{:>16}{:>10}{:>8.1}{:>10}{:>10}{:>10}{:>8}{:>10}{:>8}{:>8}{:>8}{:>8}",
+                trunc(s, 16),
+                htm.begins,
+                htm.commit_rate() * 100.0,
+                htm.aborts_conflict,
+                htm.aborts_capacity,
+                htm.aborts_explicit,
+                htm.aborts_nested,
+                htm.aborts_spurious,
+                mem.epoch_advances,
+                mem.hazard_scans,
+                mem.hazard_reclaimed + mem.limbo_reclaimed,
+                mem.orphans_drained
+            );
+        }
+        out
+    }
+
+    /// Abort-cause breakdown with one row per (axis, series) cell — the
+    /// per-threshold view the retry sweep prints.
+    pub fn render_causes_by_axis(&self) -> String {
+        if self.causes.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### abort causes by axis — {}", self.title);
+        let _ = writeln!(
+            out,
+            "{:>6}{:>16}{:>10}{:>8}{:>10}{:>10}{:>10}{:>8}{:>10}",
+            "axis", "series", "begins", "commit%", "conflict", "capacity", "explicit", "nested",
+            "spurious"
+        );
+        for c in &self.causes {
+            let _ = writeln!(
+                out,
+                "{:>6}{:>16}{:>10}{:>8.1}{:>10}{:>10}{:>10}{:>8}{:>10}",
+                c.axis,
+                trunc(&c.series, 16),
+                c.htm.begins,
+                c.htm.commit_rate() * 100.0,
+                c.htm.aborts_conflict,
+                c.htm.aborts_capacity,
+                c.htm.aborts_explicit,
+                c.htm.aborts_nested,
+                c.htm.aborts_spurious
+            );
+        }
+        out
+    }
+
+    /// Merge every attached cell for `series` across the axis.
+    fn merged_for(&self, series: &str) -> (pto_htm::HtmSnapshot, pto_mem::MemSnapshot) {
+        self.causes
+            .iter()
+            .filter(|c| c.series == series)
+            .fold(Default::default(), |(h, m): (pto_htm::HtmSnapshot, pto_mem::MemSnapshot), c| {
+                (h.merge(&c.htm), m.merge(&c.mem))
+            })
+    }
+
     /// Write `results/<name>.csv`.
     pub fn write_csv(&self, name: &str) -> std::io::Result<()> {
         let dir = Path::new("results");
@@ -110,6 +230,10 @@ impl Table {
 
 fn short(s: &str) -> String {
     s.chars().take(6).collect()
+}
+
+fn trunc(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
 }
 
 /// Run `f` `trials` times and return the mean (the paper averages 5
@@ -165,5 +289,34 @@ mod tests {
     fn push_rejects_wrong_arity() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push(1, vec![1.0]);
+    }
+
+    #[test]
+    fn cause_tables_render_and_merge_per_series() {
+        let mut t = Table::new("x", &["lf", "pto"]);
+        let htm = |begins, conflict| pto_htm::HtmSnapshot {
+            begins,
+            commits: begins - conflict,
+            aborts_conflict: conflict,
+            ..Default::default()
+        };
+        t.push_cause(1, "pto", htm(10, 2), Default::default());
+        t.push_cause(8, "pto", htm(30, 8), Default::default());
+        let s = t.render_causes();
+        // The two pto cells merge: 40 begins, 10 conflicts.
+        assert!(s.contains("40"), "merged begins missing:\n{s}");
+        assert!(s.contains("10"), "merged conflicts missing:\n{s}");
+        // The lf series has no cells: all-zero row, but still listed.
+        assert!(s.contains("lf"));
+        let by_axis = t.render_causes_by_axis();
+        assert_eq!(by_axis.lines().count(), 2 + 2, "one row per cell");
+        assert!(by_axis.contains("pto"));
+    }
+
+    #[test]
+    fn cause_tables_are_empty_without_cells() {
+        let t = Table::new("x", &["a"]);
+        assert!(t.render_causes().is_empty());
+        assert!(t.render_causes_by_axis().is_empty());
     }
 }

@@ -1114,3 +1114,27 @@ mod tests {
         t.check_structure().unwrap();
     }
 }
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::ConcurrentSet;
+
+    #[test]
+    fn composed_variants_keep_per_stage_cause_mixes_separate() {
+        // Chaos only on the outer (PTO1) policy: the outer stage records
+        // spurious aborts, the clean inner (PTO2) stage records none —
+        // per-variant counters must not bleed across stages.
+        let t = Bst::with_policies(
+            BstVariant::Pto1Pto2,
+            PtoPolicy::with_attempts(2).with_chaos(100),
+            PtoPolicy::with_attempts(16),
+        );
+        assert!(t.insert(5));
+        assert!(t.contains(5));
+        assert!(t.stats1.causes.spurious.get() > 0);
+        assert_eq!(t.stats2.causes.spurious.get(), 0);
+        assert_eq!(t.stats1.causes.total(), t.stats1.aborted_attempts.get());
+        assert_eq!(t.stats2.causes.total(), t.stats2.aborted_attempts.get());
+    }
+}

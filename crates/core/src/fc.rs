@@ -17,6 +17,7 @@
 //! whatever the caller's `apply` charges for the sequential operation.
 
 use pto_sim::pad::CachePadded;
+use pto_sim::stats::Counter;
 use pto_sim::sync::Mutex;
 use pto_sim::{charge, CostKind};
 use std::cell::RefCell;
@@ -39,6 +40,36 @@ thread_local! {
     static FC_LANES: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Outcome counters for a flat-combined structure: how often requests were
+/// published, how many combining passes ran, and how many requests each
+/// pass serviced (the batching the technique lives or dies by).
+#[derive(Default, Debug)]
+pub struct FcStats {
+    /// Requests published into a slot.
+    pub published: Counter,
+    /// Combining passes (lock acquisitions that scanned the slots).
+    pub combines: Counter,
+    /// Requests serviced across all combining passes (≥ `combines`;
+    /// `serviced / combines` is the mean batch size).
+    pub serviced: Counter,
+}
+
+impl FcStats {
+    pub const fn new() -> Self {
+        FcStats {
+            published: Counter::new(),
+            combines: Counter::new(),
+            serviced: Counter::new(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.published.reset();
+        self.combines.reset();
+        self.serviced.reset();
+    }
+}
+
 /// A flat-combined wrapper around a sequential structure `S`.
 ///
 /// All callers of [`FlatCombining::execute`] must pass behaviorally
@@ -49,6 +80,7 @@ pub struct FlatCombining<S> {
     slots: Box<[Slot]>,
     claimed: Box<[AtomicBool]>,
     id: u64,
+    pub stats: FcStats,
 }
 
 impl<S> FlatCombining<S> {
@@ -63,6 +95,7 @@ impl<S> FlatCombining<S> {
                 .collect(),
             claimed: (0..MAX_THREADS).map(|_| AtomicBool::new(false)).collect(),
             id: NEXT_FC_ID.fetch_add(1, Ordering::Relaxed),
+            stats: FcStats::new(),
         }
     }
 
@@ -97,17 +130,20 @@ impl<S> FlatCombining<S> {
         // Publish.
         charge(CostKind::SharedStore);
         charge(CostKind::Fence);
+        self.stats.published.inc();
         slot.req.store(request | PENDING, Ordering::SeqCst);
         loop {
             if let Some(mut s) = self.seq.try_lock() {
                 // We are the combiner: one lock acquisition (charged as a
                 // CAS) services every pending request.
                 charge(CostKind::Cas);
+                self.stats.combines.inc();
                 for other in self.slots.iter() {
                     charge(CostKind::SharedLoad);
                     let r = other.req.load(Ordering::Acquire);
                     if r & PENDING != 0 {
                         let resp = apply(&mut s, r & !PENDING);
+                        self.stats.serviced.inc();
                         charge(CostKind::SharedStore);
                         other.resp.store(resp, Ordering::Release);
                         charge(CostKind::SharedStore);
@@ -184,6 +220,44 @@ mod tests {
                 _ => assert_eq!(fc.execute((2 << 60) | k, apply) == 1, oracle.contains(&k)),
             }
         }
+    }
+
+    #[test]
+    fn stats_count_publishes_combines_and_batches() {
+        let fc = FlatCombining::new(0u64);
+        for _ in 0..5 {
+            fc.execute(1, |c, d| {
+                *c += d;
+                *c
+            });
+        }
+        // Single-threaded: every publish combines for itself and services
+        // exactly its own request.
+        assert_eq!(fc.stats.published.get(), 5);
+        assert_eq!(fc.stats.combines.get(), 5);
+        assert_eq!(fc.stats.serviced.get(), 5);
+    }
+
+    #[test]
+    fn combining_batches_under_concurrency() {
+        // With contention, some combiner services other threads' requests:
+        // serviced == published, but combines ≤ published (batching).
+        let fc = FlatCombining::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let fc = &fc;
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        fc.execute(1, |c, d| {
+                            *c += d;
+                            *c
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(fc.stats.serviced.get(), fc.stats.published.get());
+        assert!(fc.stats.combines.get() <= fc.stats.published.get());
     }
 
     #[test]

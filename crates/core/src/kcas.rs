@@ -177,9 +177,11 @@ impl Drop for Caches {
 }
 
 thread_local! {
-    static CACHES: Caches = Caches {
-        dcss: RefCell::new(Vec::new()),
-        dcas: RefCell::new(Vec::new()),
+    static CACHES: Caches = const {
+        Caches {
+            dcss: RefCell::new(Vec::new()),
+            dcas: RefCell::new(Vec::new()),
+        }
     };
 }
 
@@ -530,6 +532,7 @@ pub fn read_tx<'e>(tx: &mut Txn<'e>, word: &'e TxWord) -> TxResult<u64> {
 /// PTO-accelerated DCSS: one transaction performing two reads, a branch,
 /// and one write, falling back to [`dcss`]. The paper tunes 4 attempts for
 /// the Mound (§4.2).
+#[allow(clippy::too_many_arguments)]
 pub fn dcss_pto<H: Heap>(
     h: &H,
     policy: &PtoPolicy,

@@ -32,7 +32,7 @@ pub mod policy;
 pub mod tle;
 pub mod traits;
 
-pub use policy::{pto, pto2, PtoPolicy, PtoStats};
+pub use policy::{pto, pto2, Backoff, PtoPolicy, PtoStats};
 pub use traits::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
 
 /// Explicit-abort code used by prefix transactions that observe a state

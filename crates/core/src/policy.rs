@@ -1,7 +1,48 @@
 //! Retry policies and the PTO executors.
 
-use pto_htm::{transaction_with, AbortCause, FenceMode, TxOpts, TxResult, Txn};
+use pto_htm::{transaction_with, AbortCause, CauseCounters, FenceMode, TxOpts, TxResult, Txn};
+use pto_sim::rng::XorShift64;
 use pto_sim::stats::Counter;
+use pto_sim::{charge_n, CostKind};
+
+/// Inter-retry backoff applied after *transient* aborts (conflict or
+/// spurious) when more attempts remain. Permanent aborts (capacity,
+/// explicit, nested) never back off — they go straight to the fallback.
+///
+/// DESIGN.md §5: backoff is part of the policy surface so the conflict
+/// figures can ablate it; the default is `Off` so the paper's plain
+/// retry-N-then-fallback behaviour is unchanged unless asked for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backoff {
+    /// No delay between attempts (the paper's behaviour).
+    #[default]
+    Off,
+    /// Randomized exponential backoff: before retry `k` (0-based count of
+    /// aborts so far), spin a uniform `1..=min(base << k, cap)` iterations,
+    /// each charged as [`CostKind::SpinIter`] so the delay shows up in
+    /// virtual time.
+    Exp {
+        /// Spin-iteration window for the first retry.
+        base: u32,
+        /// Upper bound on the window.
+        cap: u32,
+    },
+}
+
+/// Deterministic per-thread seed stream for backoff jitter: each thread's
+/// RNG is seeded from a shared Weyl sequence, so runs are reproducible
+/// (thread seeds depend only on first-use order, not addresses or time).
+fn backoff_rng_draw(window: u64) -> u64 {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    thread_local! {
+        static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(
+            SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+        ));
+    }
+    RNG.with(|r| r.borrow_mut().below(window))
+}
 
 /// How a PTO'd operation attempts its prefix transaction before falling
 /// back to the original lock-free code.
@@ -16,6 +57,8 @@ pub struct PtoPolicy {
     /// Stop retrying early on aborts that cannot succeed on retry
     /// (capacity, explicit). Conflicts always consume retries.
     pub stop_on_permanent: bool,
+    /// Delay between transient-abort retries (default [`Backoff::Off`]).
+    pub backoff: Backoff,
     /// Transaction options (capacities, fence elision ablation).
     pub opts: TxOpts,
 }
@@ -26,8 +69,16 @@ impl PtoPolicy {
         PtoPolicy {
             attempts,
             stop_on_permanent: true,
+            backoff: Backoff::Off,
             opts: TxOpts::default(),
         }
+    }
+
+    /// Randomized exponential backoff between transient-abort retries;
+    /// spins are charged to the cost model. See [`Backoff::Exp`].
+    pub fn with_backoff(mut self, base: u32, cap: u32) -> Self {
+        self.backoff = Backoff::Exp { base, cap };
+        self
     }
 
     /// The Figure 5(b)/(c) ablation: keep (charge) the original algorithm's
@@ -59,6 +110,10 @@ impl Default for PtoPolicy {
 }
 
 /// Per-structure (or per-callsite) PTO outcome counters.
+///
+/// Unlike the process-global [`pto_htm::snapshot`] counters, a `PtoStats`
+/// is owned by one PTO variant instance, so two variants running in the
+/// same process report independent abort-cause mixes.
 #[derive(Default, Debug)]
 pub struct PtoStats {
     /// Operations completed by a committed prefix transaction.
@@ -67,6 +122,8 @@ pub struct PtoStats {
     pub aborted_attempts: Counter,
     /// Operations that ran the lock-free fallback.
     pub fallback: Counter,
+    /// Aborted attempts bucketed by [`AbortCause`].
+    pub causes: CauseCounters,
 }
 
 impl PtoStats {
@@ -75,6 +132,7 @@ impl PtoStats {
             fast: Counter::new(),
             aborted_attempts: Counter::new(),
             fallback: Counter::new(),
+            causes: CauseCounters::new(),
         }
     }
 
@@ -93,6 +151,7 @@ impl PtoStats {
         self.fast.reset();
         self.aborted_attempts.reset();
         self.fallback.reset();
+        self.causes.reset();
     }
 }
 
@@ -128,7 +187,7 @@ pub fn pto<'e, T>(
     mut prefix: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
     fallback: impl FnOnce() -> T,
 ) -> T {
-    for _ in 0..policy.attempts {
+    for attempt in 0..policy.attempts {
         match transaction_with(policy.opts, &mut prefix) {
             Ok(v) => {
                 stats.fast.inc();
@@ -136,11 +195,27 @@ pub fn pto<'e, T>(
             }
             Err(cause) => {
                 stats.aborted_attempts.inc();
+                stats.causes.record(cause);
                 if policy.stop_on_permanent && !cause.retry_hint() {
                     break;
                 }
                 if cause == AbortCause::Nested {
                     break;
+                }
+                // Back off before the next *transient* retry. (Spurious
+                // aborts are transient too — retry_hint() is true — so they
+                // back off alongside conflicts; this keeps the delay
+                // deterministic to test under chaos injection.)
+                if attempt + 1 < policy.attempts {
+                    if let Backoff::Exp { base, cap } = policy.backoff {
+                        let window =
+                            ((base as u64) << attempt.min(32)).min(cap.max(1) as u64).max(1);
+                        let spins = 1 + backoff_rng_draw(window);
+                        charge_n(CostKind::SpinIter, spins);
+                        for _ in 0..spins {
+                            std::hint::spin_loop();
+                        }
+                    }
                 }
             }
         }
@@ -317,6 +392,132 @@ mod tests {
         assert!((stats.fast_rate() - 0.75).abs() < 1e-12);
         stats.reset();
         assert_eq!(stats.fast_rate(), 0.0);
+    }
+
+    #[test]
+    fn causes_bucket_by_abort_kind() {
+        // Explicit abort → exactly one Explicit tick.
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(5);
+        pto(
+            &policy,
+            &stats,
+            |tx| -> TxResult<()> { Err(tx.abort(crate::ABORT_HELP)) },
+            || (),
+        );
+        assert_eq!(stats.causes.explicit.get(), 1);
+        assert_eq!(stats.causes.total(), 1);
+
+        // Capacity overflow → one Capacity tick.
+        let words: Vec<TxWord> = (0..8).map(TxWord::new).collect();
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(4).with_write_cap(2);
+        pto(
+            &policy,
+            &stats,
+            |tx| {
+                for w in &words {
+                    tx.write(w, 1)?;
+                }
+                Ok(())
+            },
+            || (),
+        );
+        assert_eq!(stats.causes.capacity.get(), 1);
+        assert_eq!(stats.causes.total(), 1);
+
+        // Chaos at 100% strikes every attempt → `attempts` Spurious ticks.
+        let w = TxWord::new(0);
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(3).with_chaos(100);
+        pto(&policy, &stats, |tx| tx.read(&w), || 0);
+        assert_eq!(stats.causes.spurious.get(), 3);
+        assert_eq!(stats.causes.total(), 3);
+        assert_eq!(stats.aborted_attempts.get(), stats.causes.total());
+    }
+
+    #[test]
+    fn two_stats_in_one_process_stay_independent() {
+        // The heart of the per-variant observability claim: two variants'
+        // cause mixes must not bleed into each other even though the HTM's
+        // process-global counters see both.
+        let spurious_stats = PtoStats::new();
+        let capacity_stats = PtoStats::new();
+        let spurious_policy = PtoPolicy::with_attempts(1).with_chaos(100);
+        let capacity_policy = PtoPolicy::with_attempts(1).with_write_cap(1);
+        let words: Vec<TxWord> = (0..4).map(TxWord::new).collect();
+        for _ in 0..10 {
+            pto(
+                &spurious_policy,
+                &spurious_stats,
+                |tx| tx.read(&words[0]),
+                || 0,
+            );
+            pto(
+                &capacity_policy,
+                &capacity_stats,
+                |tx| {
+                    for w in &words {
+                        tx.write(w, 1)?;
+                    }
+                    Ok(0)
+                },
+                || 0,
+            );
+        }
+        assert_eq!(spurious_stats.causes.spurious.get(), 10);
+        assert_eq!(spurious_stats.causes.capacity.get(), 0);
+        assert_eq!(capacity_stats.causes.capacity.get(), 10);
+        assert_eq!(capacity_stats.causes.spurious.get(), 0);
+    }
+
+    #[test]
+    fn backoff_charges_spin_time_between_transient_retries() {
+        // Same doomed-transient workload with and without backoff: the
+        // backoff run must consume strictly more virtual time, all of it
+        // SpinIter-shaped.
+        let w = TxWord::new(0);
+        let run = |policy: &PtoPolicy| {
+            let stats = PtoStats::new();
+            let t0 = pto_sim::now();
+            pto(policy, &stats, |tx| tx.read(&w), || 0u64);
+            (pto_sim::now() - t0, stats)
+        };
+        let off = PtoPolicy::with_attempts(4).with_chaos(100);
+        let on = off.with_backoff(64, 4096);
+        let (t_off, s_off) = run(&off);
+        let (t_on, s_on) = run(&on);
+        // Identical transactional work...
+        assert_eq!(s_off.causes.spurious.get(), 4);
+        assert_eq!(s_on.causes.spurious.get(), 4);
+        // ...but the backoff run paid for its spins.
+        assert!(
+            t_on > t_off,
+            "backoff charged no extra time (off={t_off}, on={t_on})"
+        );
+        let spin = pto_sim::cost::cycles(CostKind::SpinIter);
+        // 3 inter-retry gaps, each at least one spin.
+        assert!(t_on - t_off >= 3 * spin);
+        // And bounded by the windows: 64 + 128 + 256 spins max.
+        assert!(t_on - t_off <= (64 + 128 + 256) * spin);
+    }
+
+    #[test]
+    fn backoff_never_delays_permanent_aborts() {
+        let stats = PtoStats::new();
+        let policy = PtoPolicy::with_attempts(5).with_backoff(1 << 20, 1 << 20);
+        let t0 = pto_sim::now();
+        pto(
+            &policy,
+            &stats,
+            |tx| -> TxResult<()> { Err(tx.abort(crate::ABORT_HELP)) },
+            || (),
+        );
+        let elapsed = pto_sim::now() - t0;
+        // One attempt, no spins: elapsed is just the txn begin/abort costs,
+        // far below a single 2^20-spin window.
+        assert!(elapsed < pto_sim::cost::cycles(CostKind::SpinIter) * (1 << 20));
+        assert_eq!(stats.causes.explicit.get(), 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! which is exactly the trend Figure 2(a) shows and PTO avoids by falling
 //! back to *lock-free* code instead.
 
-use pto_htm::{transaction_with, Abort, AbortCause, TxOpts, TxResult, TxWord, Txn};
+use pto_htm::{transaction_with, Abort, AbortCause, CauseCounters, TxOpts, TxResult, TxWord, Txn};
 use pto_sim::stats::Counter;
 use std::sync::atomic::Ordering;
 
@@ -51,6 +51,9 @@ pub struct TleStats {
     pub elided: Counter,
     /// Critical sections that took the lock.
     pub locked: Counter,
+    /// Speculation failures bucketed by [`AbortCause`] (lock-held shows up
+    /// as `conflict` via the subscription abort).
+    pub aborts: CauseCounters,
 }
 
 impl TleStats {
@@ -58,6 +61,7 @@ impl TleStats {
         TleStats {
             elided: Counter::new(),
             locked: Counter::new(),
+            aborts: CauseCounters::new(),
         }
     }
 }
@@ -66,15 +70,23 @@ impl TleStats {
 pub struct Tle {
     lock: TxWord,
     attempts: u32,
+    opts: TxOpts,
     pub stats: TleStats,
 }
 
 impl Tle {
     /// A TLE lock that speculates `attempts` times before locking.
     pub fn new(attempts: u32) -> Self {
+        Tle::with_opts(attempts, TxOpts::default())
+    }
+
+    /// A TLE lock with explicit transaction options (capacity/chaos
+    /// ablations for the elision figures).
+    pub fn with_opts(attempts: u32, opts: TxOpts) -> Self {
         Tle {
             lock: TxWord::new(0),
             attempts,
+            opts,
             stats: TleStats::new(),
         }
     }
@@ -84,7 +96,7 @@ impl Tle {
     /// may run several times speculatively before one run takes effect).
     pub fn execute<'e, T>(&'e self, mut body: impl FnMut(&mut Ctx<'_, 'e>) -> TxResult<T>) -> T {
         for _ in 0..self.attempts {
-            let r = transaction_with(TxOpts::default(), |tx| {
+            let r = transaction_with(self.opts, |tx| {
                 // Lock subscription: any lock acquisition during our window
                 // bumps the word's version and aborts us (strong atomicity).
                 if tx.read(&self.lock)? != 0 {
@@ -94,9 +106,12 @@ impl Tle {
                 }
                 body(&mut Ctx::Tx(tx))
             });
-            if let Ok(v) = r {
-                self.stats.elided.inc();
-                return v;
+            match r {
+                Ok(v) => {
+                    self.stats.elided.inc();
+                    return v;
+                }
+                Err(cause) => self.stats.aborts.record(cause),
             }
         }
         // Serialized fallback: acquire the global lock.
@@ -133,6 +148,24 @@ mod tests {
         }
         assert_eq!(tle.stats.elided.get(), 10);
         assert_eq!(tle.stats.locked.get(), 0);
+    }
+
+    #[test]
+    fn aborts_are_bucketed_by_cause() {
+        // Chaos at 100% kills every speculation as Spurious, so all
+        // `attempts` aborts land in that bucket and the lock path runs.
+        let opts = TxOpts {
+            chaos_abort_pct: 100,
+            ..TxOpts::default()
+        };
+        let tle = Tle::with_opts(3, opts);
+        let w = TxWord::new(0);
+        let v = tle.execute(|ctx| ctx.read(&w));
+        assert_eq!(v, 0);
+        assert_eq!(tle.stats.locked.get(), 1);
+        assert_eq!(tle.stats.elided.get(), 0);
+        assert_eq!(tle.stats.aborts.spurious.get(), 3);
+        assert_eq!(tle.stats.aborts.total(), 3);
     }
 
     #[test]

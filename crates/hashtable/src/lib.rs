@@ -763,11 +763,11 @@ impl ConcurrentSet for FSetHashTable {
         // then sum.
         let (g, buckets) = self.current();
         let mut total = 0;
-        for b in 0..buckets.len() {
-            let w = buckets[b].load(Ordering::Acquire);
+        for (b, bucket) in buckets.iter().enumerate() {
+            let w = bucket.load(Ordering::Acquire);
             let w = if w == UNMIGRATED_WORD {
                 self.migrate(g, b);
-                buckets[b].load(Ordering::Acquire)
+                bucket.load(Ordering::Acquire)
             } else {
                 w
             };
@@ -1068,5 +1068,24 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_buckets() {
         let _ = FSetHashTable::new(HashVariant::LockFree, 3);
+    }
+}
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::ConcurrentSet;
+
+    #[test]
+    fn chaos_aborts_land_in_the_spurious_bucket() {
+        let h = FSetHashTable::with_policy(
+            HashVariant::Pto,
+            4,
+            PtoPolicy::with_attempts(2).with_chaos(100),
+        );
+        assert!(h.insert(9));
+        assert!(h.contains(9));
+        assert!(h.stats.causes.spurious.get() > 0);
+        assert_eq!(h.stats.causes.total(), h.stats.aborted_attempts.get());
     }
 }

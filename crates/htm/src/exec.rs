@@ -47,12 +47,22 @@ thread_local! {
     static CHAOS_RNG: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Cheap per-thread xorshift draw for failure injection.
+/// Per-thread salt for chaos seeding: a shared counter stepped by an odd
+/// constant, so every thread's first draw starts from a distinct state.
+static CHAOS_SALT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Cheap per-thread xorshift draw for failure injection. Seeded lazily from
+/// the **thread-local** `Cell`'s address mixed with a global salt counter —
+/// seeding from a per-process address (e.g. the `LocalKey` static) would
+/// give every thread the identical chaos sequence, perfectly correlating
+/// the injected failures across lanes.
 fn chaos_strikes(pct: u8) -> bool {
     CHAOS_RNG.with(|c| {
         let mut x = c.get();
         if x == 0 {
-            x = &CHAOS_RNG as *const _ as u64 | 1;
+            let salt = CHAOS_SALT
+                .fetch_add(0x9E37_79B9_7F4A_7C15, std::sync::atomic::Ordering::Relaxed);
+            x = (c as *const Cell<u64> as u64 ^ salt) | 1;
         }
         x ^= x >> 12;
         x ^= x << 25;
@@ -190,6 +200,41 @@ mod tests {
         assert_eq!(after.commits - before.commits, 1);
         assert_eq!(after.aborts_explicit - before.aborts_explicit, 1);
         assert!(after.begins - before.begins >= 2);
+    }
+
+    #[test]
+    fn chaos_sequences_differ_across_threads() {
+        // Regression: seeding every thread's chaos RNG from the same
+        // process-global address made failure injection perfectly
+        // correlated across lanes. Two fresh threads must draw different
+        // 64-flip sequences at 50%.
+        let draw_sequence = || {
+            std::thread::spawn(|| {
+                (0..64).map(|_| chaos_strikes(50)).collect::<Vec<bool>>()
+            })
+            .join()
+            .unwrap()
+        };
+        let a = draw_sequence();
+        let b = draw_sequence();
+        assert_ne!(a, b, "two threads drew an identical chaos sequence");
+        // Sanity: at 50% neither sequence is degenerate.
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn chaos_pct_extremes() {
+        // 0% never strikes; 100% always strikes — on any thread seed.
+        std::thread::spawn(|| {
+            for _ in 0..128 {
+                assert!(!chaos_strikes(0));
+            }
+            for _ in 0..128 {
+                assert!(chaos_strikes(100));
+            }
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

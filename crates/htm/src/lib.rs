@@ -36,7 +36,7 @@ mod word;
 pub mod hw;
 
 pub use exec::{transaction, transaction_with, TxOpts};
-pub use stats::{reset as reset_stats, snapshot, HtmSnapshot};
+pub use stats::{reset as reset_stats, snapshot, CauseCounters, HtmSnapshot};
 pub use txn::{Abort, AbortCause, FenceMode, TxResult, Txn};
 pub use word::TxWord;
 

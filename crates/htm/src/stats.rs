@@ -1,11 +1,89 @@
-//! Global HTM event statistics (begins, commits, aborts by cause).
+//! HTM event statistics (begins, commits, aborts by cause).
 //!
-//! Counters are process-global; the benchmark harness resets them between
-//! configurations and reports commit/abort ratios alongside throughput,
-//! which is how the paper's retry thresholds were tuned (§3.1, §4.2).
+//! Two layers:
+//!
+//! * the **process-global** counters behind [`snapshot`]/[`reset`] record
+//!   every transaction attempt in the process; scoped measurements take a
+//!   snapshot before and after a region and diff them with
+//!   [`HtmSnapshot::delta`];
+//! * [`CauseCounters`] is an embeddable per-*variant* cause block — each
+//!   PTO'd structure (and the TLE baseline) owns one, so several variants
+//!   running in one process report independent abort-cause mixes. This is
+//!   the diagnostic loop the paper used to tune its retry thresholds
+//!   (§3.1, §4.2).
 
 use crate::txn::AbortCause;
 use pto_sim::stats::Counter;
+
+/// Per-cause abort counters, embeddable in any per-variant stats block
+/// (`PtoStats`, `TleStats`). All increments are relaxed; read with `get()`.
+#[derive(Default, Debug)]
+pub struct CauseCounters {
+    /// Conflicting concurrent (or non-transactional) access.
+    pub conflict: Counter,
+    /// Read/write set exceeded the best-effort capacity.
+    pub capacity: Counter,
+    /// `TxAbort` executed by the program (helping avoidance, §2.4).
+    pub explicit: Counter,
+    /// `TxBegin` inside a running transaction.
+    pub nested: Counter,
+    /// Spontaneous best-effort failure (failure injection).
+    pub spurious: Counter,
+}
+
+impl CauseCounters {
+    pub const fn new() -> Self {
+        CauseCounters {
+            conflict: Counter::new(),
+            capacity: Counter::new(),
+            explicit: Counter::new(),
+            nested: Counter::new(),
+            spurious: Counter::new(),
+        }
+    }
+
+    /// Record one abort under its cause bucket.
+    #[inline]
+    pub fn record(&self, cause: AbortCause) {
+        match cause {
+            AbortCause::Conflict => self.conflict.inc(),
+            AbortCause::Capacity => self.capacity.inc(),
+            AbortCause::Explicit(_) => self.explicit.inc(),
+            AbortCause::Nested => self.nested.inc(),
+            AbortCause::Spurious => self.spurious.inc(),
+        }
+    }
+
+    /// Total aborts across every cause.
+    pub fn total(&self) -> u64 {
+        self.conflict.get()
+            + self.capacity.get()
+            + self.explicit.get()
+            + self.nested.get()
+            + self.spurious.get()
+    }
+
+    /// One-line cause mix, e.g. `conflict 12 / capacity 0 / explicit 3 /
+    /// nested 0 / spurious 1`.
+    pub fn mix(&self) -> String {
+        format!(
+            "conflict {} / capacity {} / explicit {} / nested {} / spurious {}",
+            self.conflict.get(),
+            self.capacity.get(),
+            self.explicit.get(),
+            self.nested.get(),
+            self.spurious.get()
+        )
+    }
+
+    pub fn reset(&self) {
+        self.conflict.reset();
+        self.capacity.reset();
+        self.explicit.reset();
+        self.nested.reset();
+        self.spurious.reset();
+    }
+}
 
 static BEGINS: Counter = Counter::new();
 static COMMITS: Counter = Counter::new();
@@ -65,6 +143,35 @@ impl HtmSnapshot {
             self.commits as f64 / self.begins as f64
         }
     }
+
+    /// The events recorded since `before` was taken: field-wise saturating
+    /// subtraction, so a scoped measurement (`let b = snapshot(); ...;
+    /// snapshot().delta(&b)`) attributes the global counters to that region
+    /// even if some other code called [`reset`] in between.
+    pub fn delta(&self, before: &HtmSnapshot) -> HtmSnapshot {
+        HtmSnapshot {
+            begins: self.begins.saturating_sub(before.begins),
+            commits: self.commits.saturating_sub(before.commits),
+            aborts_conflict: self.aborts_conflict.saturating_sub(before.aborts_conflict),
+            aborts_capacity: self.aborts_capacity.saturating_sub(before.aborts_capacity),
+            aborts_explicit: self.aborts_explicit.saturating_sub(before.aborts_explicit),
+            aborts_nested: self.aborts_nested.saturating_sub(before.aborts_nested),
+            aborts_spurious: self.aborts_spurious.saturating_sub(before.aborts_spurious),
+        }
+    }
+
+    /// Field-wise sum (for aggregating several scoped deltas).
+    pub fn merge(&self, other: &HtmSnapshot) -> HtmSnapshot {
+        HtmSnapshot {
+            begins: self.begins + other.begins,
+            commits: self.commits + other.commits,
+            aborts_conflict: self.aborts_conflict + other.aborts_conflict,
+            aborts_capacity: self.aborts_capacity + other.aborts_capacity,
+            aborts_explicit: self.aborts_explicit + other.aborts_explicit,
+            aborts_nested: self.aborts_nested + other.aborts_nested,
+            aborts_spurious: self.aborts_spurious + other.aborts_spurious,
+        }
+    }
 }
 
 /// Read the current counters.
@@ -115,5 +222,66 @@ mod tests {
         };
         assert_eq!(s.total_aborts(), 6);
         assert!((s.commit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let before = HtmSnapshot {
+            begins: 10,
+            commits: 8,
+            aborts_conflict: 2,
+            ..Default::default()
+        };
+        let after = HtmSnapshot {
+            begins: 15,
+            commits: 11,
+            aborts_conflict: 4,
+            ..Default::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.begins, 5);
+        assert_eq!(d.commits, 3);
+        assert_eq!(d.aborts_conflict, 2);
+        // A reset between snapshots must not underflow.
+        let z = HtmSnapshot::default().delta(&before);
+        assert_eq!(z.begins, 0);
+        assert_eq!(z.total_aborts(), 0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = HtmSnapshot {
+            begins: 3,
+            aborts_capacity: 1,
+            ..Default::default()
+        };
+        let b = HtmSnapshot {
+            begins: 4,
+            aborts_capacity: 2,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.begins, 7);
+        assert_eq!(m.aborts_capacity, 3);
+    }
+
+    #[test]
+    fn cause_counters_bucket_by_cause() {
+        let c = CauseCounters::new();
+        c.record(AbortCause::Conflict);
+        c.record(AbortCause::Conflict);
+        c.record(AbortCause::Capacity);
+        c.record(AbortCause::Explicit(7));
+        c.record(AbortCause::Nested);
+        c.record(AbortCause::Spurious);
+        assert_eq!(c.conflict.get(), 2);
+        assert_eq!(c.capacity.get(), 1);
+        assert_eq!(c.explicit.get(), 1);
+        assert_eq!(c.nested.get(), 1);
+        assert_eq!(c.spurious.get(), 1);
+        assert_eq!(c.total(), 6);
+        assert!(c.mix().contains("conflict 2"));
+        c.reset();
+        assert_eq!(c.total(), 0);
     }
 }

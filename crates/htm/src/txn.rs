@@ -391,8 +391,12 @@ mod tests {
     }
 
     #[test]
-    fn retry_hint_only_for_conflicts() {
+    fn retry_hint_only_for_transient_causes() {
         assert!(AbortCause::Conflict.retry_hint());
+        // Spurious (injected best-effort) failures clear every RTM flag yet
+        // are worth retrying — the PTO executor relies on this hint to keep
+        // burning attempts under failure injection.
+        assert!(AbortCause::Spurious.retry_hint());
         assert!(!AbortCause::Capacity.retry_hint());
         assert!(!AbortCause::Explicit(0).retry_hint());
         assert!(!AbortCause::Nested.retry_hint());

@@ -647,3 +647,19 @@ mod tests {
         HarrisList::new(ListVariant::LockFree).insert(u64::MAX);
     }
 }
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::ConcurrentSet;
+
+    #[test]
+    fn chaos_aborts_land_in_the_spurious_bucket() {
+        let l = HarrisList::with_policy(ListVariant::PtoWhole, PtoPolicy::with_attempts(2).with_chaos(100));
+        assert!(l.insert(3));
+        assert!(l.contains(3));
+        let stats = &l.stats;
+        assert!(stats.causes.spurious.get() > 0);
+        assert_eq!(stats.causes.total(), stats.aborted_attempts.get());
+    }
+}

@@ -115,9 +115,32 @@ impl Drop for Guard {
     }
 }
 
+/// Test-only race amplifier: when set, the outermost `pin()` dawdles
+/// between reading the global epoch and announcing it, so the regression
+/// test can reliably exercise the announce/advance race.
+#[cfg(test)]
+static WIDEN_ANNOUNCE_RACE: AtomicBool = AtomicBool::new(false);
+
+#[inline]
+fn pause_before_announce() {
+    #[cfg(test)]
+    if WIDEN_ANNOUNCE_RACE.load(Ordering::Relaxed) {
+        for _ in 0..2_000 {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Pin the current thread: fallback-path operations hold a `Guard` across
 /// their shared-memory traversal. Charges the paper's "two stores and two
 /// memory fences" epoch-entry cost (§4.5) on the outermost pin.
+///
+/// The announcement is **re-validated**: the global epoch may advance
+/// between the `GLOBAL` load and the announcement store (`try_advance` on
+/// another thread cannot see a pin that is not yet published), so the
+/// outermost pin loops until the epoch it announced is still the current
+/// one. Without this, a pin could be arbitrarily stale on arrival and the
+/// grace period it was supposed to hold open would already be violated.
 pub fn pin() -> Guard {
     let slot = my_slot();
     LEASE.with(|l| {
@@ -125,8 +148,21 @@ pub fn pin() -> Guard {
         l.depth.set(d + 1);
         if d == 0 {
             charge(CostKind::EpochPin);
-            let e = GLOBAL.load(Ordering::Acquire);
-            registry().announce[slot].store(e | 1, Ordering::SeqCst);
+            let r = registry();
+            let mut e = GLOBAL.load(Ordering::Acquire);
+            pause_before_announce();
+            loop {
+                r.announce[slot].store(e | 1, Ordering::SeqCst);
+                // Once the announcement is visible the global epoch can
+                // advance at most one step past it; re-read to make sure
+                // we did not announce an epoch that had already been left
+                // behind.
+                let cur = GLOBAL.load(Ordering::SeqCst);
+                if cur == e {
+                    break;
+                }
+                e = cur;
+            }
         }
     });
     Guard { slot }
@@ -149,9 +185,13 @@ pub fn try_advance() -> bool {
             return false;
         }
     }
-    GLOBAL
+    let advanced = GLOBAL
         .compare_exchange(e, e + 2, Ordering::AcqRel, Ordering::Relaxed)
-        .is_ok()
+        .is_ok();
+    if advanced {
+        crate::counters::record_epoch_advance();
+    }
+    advanced
 }
 
 /// True when a slot retired at epoch `retired_at` has passed its grace
@@ -171,7 +211,7 @@ mod tests {
         while current() < target {
             try_advance();
             tries += 1;
-            if tries % 1024 == 0 {
+            if tries.is_multiple_of(1024) {
                 std::thread::yield_now();
             }
             assert!(tries < 100_000_000, "epoch stalled before {target}");
@@ -227,6 +267,44 @@ mod tests {
         assert!(!is_safe(e));
         assert!(is_safe(e.saturating_sub(2 * GRACE_ADVANCES)));
         drop(g);
+    }
+
+    #[test]
+    fn pin_announcement_never_lags_global_by_more_than_one_step() {
+        // Regression for the announce race: the global epoch could advance
+        // (repeatedly) between `pin()`'s GLOBAL load and its announcement
+        // store, leaving the pin arbitrarily stale and the grace period
+        // violated. Post-fix, `pin()` re-validates, so from the moment it
+        // returns until the guard drops the global epoch can be at most one
+        // advance (2) past the announced epoch.
+        //
+        // The race window is widened (test-only hook) so an aggressive
+        // advancer reliably lands several advances inside it; with the
+        // single-store pre-fix code this assertion trips within a handful
+        // of iterations.
+        WIDEN_ANNOUNCE_RACE.store(true, Ordering::Relaxed);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    try_advance();
+                }
+            });
+            for _ in 0..200 {
+                let g = pin();
+                let lag = current().saturating_sub(g.epoch());
+                assert!(
+                    lag <= 2,
+                    "pin announced epoch {} but global is {} (lag {})",
+                    g.epoch(),
+                    current(),
+                    lag
+                );
+                drop(g);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        WIDEN_ANNOUNCE_RACE.store(false, Ordering::Relaxed);
     }
 
     #[test]

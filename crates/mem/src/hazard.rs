@@ -12,13 +12,23 @@
 //! The domain protects **pool slot indices** rather than raw pointers: a
 //! protected index cannot be handed back to its pool's free list while any
 //! thread's hazard slot holds it.
+//!
+//! Lanes are **leased**: a thread claims a lane on first use and a
+//! thread-local `Drop` guard releases it on thread exit (mirroring
+//! `epoch::SlotLease`), clearing the thread's hazard slots and parking its
+//! not-yet-reclaimed retired list on the domain's orphan list, which any
+//! later [`HazardDomain::scan`] drains. Without the guard, >`MAX_THREADS`
+//! short-lived threads would exhaust the lane table and every exiting
+//! thread's retired slots would leak.
 
+use crate::counters;
 use crate::pool::Pool;
 use pto_sim::pad::CachePadded;
 use pto_sim::sync::Mutex;
 use pto_sim::{charge, CostKind};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Max threads concurrently registered in one domain.
 pub const MAX_THREADS: usize = 128;
@@ -29,23 +39,64 @@ const SCAN_THRESHOLD: usize = 64;
 
 const EMPTY: u64 = u64::MAX;
 
-/// One hazard-pointer domain; typically one per data structure.
-pub struct HazardDomain {
+/// The shared state of a domain. Kept behind an `Arc` so the thread-local
+/// lease guards can still release lanes and park orphans when a thread
+/// exits after the `HazardDomain` owner moved on (or vice versa).
+struct DomainCore {
     hazards: Box<[CachePadded<AtomicU64>]>,
     claimed: Box<[AtomicBool]>,
-    /// Overflow retired nodes from exiting threads.
+    /// Retired slots from exited threads, awaiting a scan by anyone.
     orphans: Mutex<Vec<u32>>,
     id: u64,
 }
 
+/// One hazard-pointer domain; typically one per data structure.
+pub struct HazardDomain {
+    core: Arc<DomainCore>,
+}
+
 static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(0);
 
+/// A thread's lease on one domain: the claimed lane plus the thread-local
+/// retired list for that domain.
+struct Lease {
+    core: Arc<DomainCore>,
+    lane: usize,
+    retired: Vec<u32>,
+}
+
+/// Thread-local lease table. Its `Drop` (thread exit) returns every lane
+/// and parks every retired list — the hazard analogue of `epoch::SlotLease`.
+struct LeaseSet {
+    leases: RefCell<Vec<Lease>>,
+}
+
+impl Drop for LeaseSet {
+    fn drop(&mut self) {
+        for lease in self.leases.borrow_mut().drain(..) {
+            // Clear our hazard slots first so a concurrent scan never sees
+            // a stale protection from a dead thread.
+            for k in 0..SLOTS_PER_THREAD {
+                lease.core.hazards[lease.lane * SLOTS_PER_THREAD + k]
+                    .store(EMPTY, Ordering::Release);
+            }
+            if !lease.retired.is_empty() {
+                counters::record_orphans_parked(lease.retired.len() as u64);
+                lease.core.orphans.lock().extend(lease.retired);
+            }
+            lease.core.claimed[lease.lane].store(false, Ordering::Release);
+            counters::record_lane_released();
+        }
+    }
+}
+
 thread_local! {
-    /// (domain id, lane) leases plus per-domain retired lists.
-    static LANES: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
-    static RETIRED: RefCell<Vec<(u64, Vec<u32>)>> = const { RefCell::new(Vec::new()) };
+    static LEASES: LeaseSet = const {
+        LeaseSet {
+            leases: RefCell::new(Vec::new()),
+        }
+    };
     static SCAN_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
-    static LANE_GUARD: Cell<bool> = const { Cell::new(false) };
 }
 
 impl Default for HazardDomain {
@@ -57,39 +108,56 @@ impl Default for HazardDomain {
 impl HazardDomain {
     pub fn new() -> Self {
         HazardDomain {
-            hazards: (0..MAX_THREADS * SLOTS_PER_THREAD)
-                .map(|_| CachePadded::new(AtomicU64::new(EMPTY)))
-                .collect(),
-            claimed: (0..MAX_THREADS).map(|_| AtomicBool::new(false)).collect(),
-            orphans: Mutex::new(Vec::new()),
-            id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
+            core: Arc::new(DomainCore {
+                hazards: (0..MAX_THREADS * SLOTS_PER_THREAD)
+                    .map(|_| CachePadded::new(AtomicU64::new(EMPTY)))
+                    .collect(),
+                claimed: (0..MAX_THREADS).map(|_| AtomicBool::new(false)).collect(),
+                orphans: Mutex::new(Vec::new()),
+                id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
+            }),
         }
     }
 
-    fn my_lane(&self) -> usize {
-        LANES.with(|l| {
-            let mut l = l.borrow_mut();
-            if let Some(&(_, lane)) = l.iter().find(|&&(id, _)| id == self.id) {
-                return lane;
+    /// Run `f` with this thread's lease for this domain, claiming a lane on
+    /// first use.
+    fn with_lease<R>(&self, f: impl FnOnce(&mut Lease) -> R) -> R {
+        LEASES.with(|set| {
+            let mut leases = set.leases.borrow_mut();
+            if let Some(lease) = leases.iter_mut().find(|l| l.core.id == self.core.id) {
+                return f(lease);
             }
-            for i in 0..MAX_THREADS {
-                if !self.claimed[i].load(Ordering::Acquire)
-                    && self.claimed[i]
-                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                        .is_ok()
-                {
-                    l.push((self.id, i));
-                    return i;
-                }
-            }
-            panic!("hazard domain lanes exhausted");
+            let lane = self.claim_lane();
+            leases.push(Lease {
+                core: Arc::clone(&self.core),
+                lane,
+                retired: Vec::new(),
+            });
+            f(leases.last_mut().unwrap())
         })
+    }
+
+    fn claim_lane(&self) -> usize {
+        for i in 0..MAX_THREADS {
+            if !self.core.claimed[i].load(Ordering::Acquire)
+                && self.core.claimed[i]
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return i;
+            }
+        }
+        panic!("hazard domain lanes exhausted");
+    }
+
+    fn my_lane(&self) -> usize {
+        self.with_lease(|l| l.lane)
     }
 
     #[inline]
     fn slot(&self, lane: usize, k: usize) -> &AtomicU64 {
         debug_assert!(k < SLOTS_PER_THREAD);
-        &self.hazards[lane * SLOTS_PER_THREAD + k]
+        &self.core.hazards[lane * SLOTS_PER_THREAD + k]
     }
 
     /// Publish hazard slot `k` = `idx`. Charges the store **and the fence**
@@ -121,7 +189,8 @@ impl HazardDomain {
     /// Is `idx` currently protected by any thread? (Diagnostics; the scan
     /// batches this check over a snapshot instead.)
     pub fn is_protected(&self, idx: u32) -> bool {
-        self.hazards
+        self.core
+            .hazards
             .iter()
             .any(|h| h.load(Ordering::Acquire) == idx as u64)
     }
@@ -130,67 +199,71 @@ impl HazardDomain {
     /// protects it. Charges `PoolFree` (the logical deallocation).
     pub fn retire<T: Default>(&self, pool: &Pool<T>, idx: u32) {
         charge(CostKind::PoolFree);
-        let should_scan = RETIRED.with(|r| {
-            let mut r = r.borrow_mut();
-            let entry = match r.iter_mut().find(|(id, _)| *id == self.id) {
-                Some((_, v)) => v,
-                None => {
-                    r.push((self.id, Vec::new()));
-                    &mut r.last_mut().unwrap().1
-                }
-            };
-            entry.push(idx);
-            entry.len() >= SCAN_THRESHOLD
+        let should_scan = self.with_lease(|l| {
+            l.retired.push(idx);
+            l.retired.len() >= SCAN_THRESHOLD
         });
         if should_scan {
             self.scan(pool);
         }
     }
 
+    /// Retired slots parked by exited threads, not yet reclaimed
+    /// (diagnostics).
+    pub fn orphan_count(&self) -> usize {
+        self.core.orphans.lock().len()
+    }
+
     /// Reclamation scan: move every retired slot not currently protected
     /// back to the pool. Uncharged machinery (amortized away in Michael's
     /// accounting; the per-op costs are the protect/clear stores).
     pub fn scan<T: Default>(&self, pool: &Pool<T>) {
+        counters::record_hazard_scan();
         // Snapshot the hazard table once.
         SCAN_SCRATCH.with(|s| {
             let mut snap = s.borrow_mut();
             snap.clear();
             snap.extend(
-                self.hazards
+                self.core
+                    .hazards
                     .iter()
                     .map(|h| h.load(Ordering::Acquire))
                     .filter(|&v| v != EMPTY),
             );
             snap.sort_unstable();
-            RETIRED.with(|r| {
-                let mut r = r.borrow_mut();
-                if let Some((_, list)) = r.iter_mut().find(|(id, _)| *id == self.id) {
-                    list.retain(|&idx| {
-                        if snap.binary_search(&(idx as u64)).is_ok() {
-                            true // still protected
-                        } else {
-                            pool.free_quiet(idx);
-                            false
-                        }
-                    });
-                }
+            self.with_lease(|l| {
+                let mut freed = 0u64;
+                l.retired.retain(|&idx| {
+                    if snap.binary_search(&(idx as u64)).is_ok() {
+                        true // still protected
+                    } else {
+                        pool.free_quiet(idx);
+                        freed += 1;
+                        false
+                    }
+                });
+                counters::record_hazard_reclaimed(freed);
             });
-            // Also try to drain orphans left by exited threads.
-            let mut orphans = self.orphans.lock();
+            // Also drain orphans left by exited threads.
+            let mut orphans = self.core.orphans.lock();
+            let mut drained = 0u64;
             orphans.retain(|&idx| {
                 if snap.binary_search(&(idx as u64)).is_ok() {
                     true
                 } else {
                     pool.free_quiet(idx);
+                    drained += 1;
                     false
                 }
             });
+            counters::record_orphans_drained(drained);
         });
     }
 
     /// Number of currently published hazards (diagnostics).
     pub fn active_hazards(&self) -> usize {
-        self.hazards
+        self.core
+            .hazards
             .iter()
             .filter(|h| h.load(Ordering::Relaxed) != EMPTY)
             .count()
@@ -270,6 +343,61 @@ mod tests {
             pto_sim::cost::cycles(CostKind::SharedStore) + pto_sim::cost::cycles(CostKind::Fence)
         );
         d.clear_all();
+    }
+
+    #[test]
+    fn exiting_threads_release_lanes_and_park_orphans() {
+        // Regression: lanes claimed in `my_lane` were never released and
+        // exiting threads dropped their retired lists on the floor, so
+        // > MAX_THREADS short-lived threads panicked "hazard domain lanes
+        // exhausted" and retired slots leaked forever. Several waves of
+        // threads, each retiring nodes, must all get lanes, and a final
+        // scan must reclaim every parked orphan.
+        let pool: Pool<Node> = Pool::new();
+        let d = HazardDomain::new();
+        const WAVES: usize = 6;
+        const PER_WAVE: usize = 32; // 6 × 32 = 192 > MAX_THREADS
+        const RETIRES: usize = 5; // < SCAN_THRESHOLD: stays on the TLS list
+        for _ in 0..WAVES {
+            std::thread::scope(|s| {
+                for _ in 0..PER_WAVE {
+                    let (pool, d) = (&pool, &d);
+                    s.spawn(move || {
+                        for i in 0..RETIRES {
+                            let idx = pool.alloc();
+                            pool.get(idx).v.init(i as u64);
+                            d.protect(0, idx);
+                            d.clear(0);
+                            d.retire(pool, idx);
+                        }
+                    });
+                }
+            });
+        }
+        // Every exited thread parked its retired list as orphans.
+        assert_eq!(d.orphan_count(), WAVES * PER_WAVE * RETIRES);
+        assert_eq!(d.active_hazards(), 0, "dead threads left hazards set");
+        // Any thread's scan drains them back to the pool.
+        d.scan(&pool);
+        assert_eq!(d.orphan_count(), 0, "orphans not drained by scan");
+        assert_eq!(pool.live(), 0, "retired slots leaked");
+    }
+
+    #[test]
+    fn lane_reuse_is_observed_by_counters() {
+        let d = HazardDomain::new();
+        let before = crate::counters::snapshot();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = &d;
+                s.spawn(move || {
+                    d.protect(0, 9);
+                    d.clear(0);
+                });
+            }
+        });
+        let delta = crate::counters::snapshot().delta(&before);
+        assert!(delta.lanes_released >= 4, "lease drops not counted");
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //!   shared-allocator bottleneck the paper blames for the hash table's
 //!   widening PTO gap at high thread counts.
 
+pub mod counters;
 pub mod epoch;
 pub mod hazard;
 pub mod pool;
 
+pub use counters::MemSnapshot;
 pub use hazard::HazardDomain;
 pub use pool::{Pool, NIL};

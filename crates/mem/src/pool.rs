@@ -88,7 +88,7 @@ impl<T: Default> Pool<T> {
             segments: std::array::from_fn(|_| OnceLock::new()),
             grow: Mutex::new(()),
             bump: AtomicU32::new(0),
-            free_head: AtomicU64::new((0u64 << 32) | NIL as u64),
+            free_head: AtomicU64::new(NIL as u64),
             links: std::array::from_fn(|_| OnceLock::new()),
             limbo: Mutex::new(VecDeque::new()),
             in_alloc: AtomicU64::new(0),
@@ -181,6 +181,7 @@ impl<T: Default> Pool<T> {
                 }
             }
         }
+        crate::counters::record_limbo_reclaimed(ready.len() as u64);
         for idx in ready {
             self.push_free(idx);
         }
@@ -339,7 +340,7 @@ mod tests {
         while epoch::current() < target {
             epoch::try_advance();
             tries += 1;
-            if tries % 1024 == 0 {
+            if tries.is_multiple_of(1024) {
                 std::thread::yield_now();
             }
             assert!(tries < 100_000_000, "epoch stalled");

@@ -683,3 +683,21 @@ mod tests {
         );
     }
 }
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::Quiescence;
+
+    #[test]
+    fn chaos_aborts_land_in_the_spurious_bucket() {
+        let m = PtoMindicator::with_policy(8, PtoPolicy::with_attempts(2).with_chaos(100));
+        m.arrive(5);
+        assert_eq!(m.query(), 5);
+        m.depart();
+        assert!(m.stats.causes.spurious.get() > 0);
+        assert_eq!(m.stats.causes.total(), m.stats.aborted_attempts.get());
+        assert_eq!(m.stats.causes.capacity.get(), 0);
+        assert_eq!(m.stats.causes.explicit.get(), 0);
+    }
+}

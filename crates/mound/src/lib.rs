@@ -77,6 +77,9 @@ pub struct LNode {
 }
 
 /// Which DCSS/DCAS implementation the Mound runs on.
+// One long-lived instance per structure; `PtoStats` is cache-padded by
+// design, so the size gap between variants is deliberate.
+#[allow(clippy::large_enum_variant)]
 enum Prims {
     /// Software descriptors + CAS sequences (the lock-free baseline).
     Software,
@@ -84,12 +87,18 @@ enum Prims {
     Pto { policy: PtoPolicy, stats: PtoStats },
 }
 
+/// Per-thread seed from a shared Weyl sequence. (Taking the address of the
+/// `thread_local!` static itself would hand every thread the *same* seed —
+/// the `LocalKey` is one process-global object — so leaf draws would
+/// collide on all threads.)
+fn rng_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEED: AtomicU64 = AtomicU64::new(0xA076_1D64_78BD_642F);
+    SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
+
 thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(
-        // Distinct per-thread stream; the address of a TLS gives a cheap
-        // per-thread seed.
-        &RNG as *const _ as u64 ^ 0xA076_1D64_78BD_642F
-    ));
+    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(rng_seed()));
 }
 
 /// Consecutive failed random-leaf draws before the tree grows a level
@@ -816,5 +825,25 @@ mod tests {
     #[should_panic(expected = "depth must be")]
     fn rejects_absurd_depth() {
         let _ = Mound::new_lockfree(40);
+    }
+}
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::PriorityQueue;
+
+    #[test]
+    fn chaos_aborts_land_in_the_spurious_bucket() {
+        let m = Mound::new_pto_with(4, PtoPolicy::with_attempts(2).with_chaos(100));
+        // Root inserts are plain CASes; pushing a *larger* key second forces
+        // the below-root DCSS path, which is the PTO'd primitive.
+        m.push(1);
+        m.push(5);
+        assert_eq!(m.pop_min(), Some(1));
+        let stats = m.pto_stats().unwrap();
+        assert!(stats.causes.spurious.get() > 0);
+        assert_eq!(stats.causes.total(), stats.aborted_attempts.get());
+        assert_eq!(stats.causes.capacity.get(), 0);
     }
 }

@@ -38,6 +38,9 @@ const HP_NEXT: usize = 1;
 const HP_TAIL: usize = 2;
 
 /// Which implementation runs first.
+// One long-lived instance per structure; `PtoStats` is cache-padded by
+// design, so the size gap between variants is deliberate.
+#[allow(clippy::large_enum_variant)]
 enum Mode {
     LockFree,
     Pto { policy: PtoPolicy, stats: PtoStats },
@@ -429,5 +432,22 @@ mod tests {
         q.enqueue(0);
         assert_eq!(q.dequeue(), Some(u64::MAX));
         assert_eq!(q.dequeue(), Some(0));
+    }
+}
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::FifoQueue;
+
+    #[test]
+    fn chaos_aborts_land_in_the_spurious_bucket() {
+        let q = MsQueue::new_pto_with(PtoPolicy::with_attempts(2).with_chaos(100));
+        q.enqueue(11);
+        assert_eq!(q.dequeue(), Some(11));
+        let stats = q.pto_stats().unwrap();
+        assert!(stats.causes.spurious.get() > 0);
+        assert_eq!(stats.causes.total(), stats.aborted_attempts.get());
+        assert_eq!(stats.causes.conflict.get(), 0);
     }
 }

@@ -80,13 +80,24 @@ impl Default for SkipNode {
     }
 }
 
+/// Per-thread seed from a shared Weyl sequence. (Taking the address of the
+/// `thread_local!` static itself would hand every thread the *same* seed —
+/// the `LocalKey` is one process-global object — so all threads would draw
+/// identical tower-height sequences.)
+fn rng_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEED: AtomicU64 = AtomicU64::new(0x6C62_272E_07BB_0142);
+    SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
+
 thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(
-        &RNG as *const _ as u64 ^ 0x6C62_272E_07BB_0142
-    ));
+    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(rng_seed()));
 }
 
 /// Whether updates attempt a prefix transaction first.
+// One long-lived instance per structure; `PtoStats` is cache-padded by
+// design, so the size gap between variants is deliberate.
+#[allow(clippy::large_enum_variant)]
 enum Mode {
     LockFree,
     Pto { policy: PtoPolicy, stats: PtoStats },
@@ -637,6 +648,10 @@ impl SkipQueue {
     pub fn len(&self) -> usize {
         self.list.count()
     }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl PriorityQueue for SkipQueue {
@@ -990,5 +1005,23 @@ mod tests {
         }
         assert!(counts[1] > 4_000 && counts[1] < 6_000, "h=1: {}", counts[1]);
         assert!(counts[2] > 1_900 && counts[2] < 3_100, "h=2: {}", counts[2]);
+    }
+}
+
+#[cfg(test)]
+mod cause_observability {
+    use super::*;
+    use pto_core::ConcurrentSet;
+
+    #[test]
+    fn chaos_aborts_land_in_the_spurious_bucket() {
+        let s = SkipListSet::new_pto_with(PtoPolicy::with_attempts(2).with_chaos(100));
+        assert!(s.insert(7));
+        assert!(s.contains(7));
+        assert!(s.remove(7));
+        let stats = s.pto_stats().unwrap();
+        assert!(stats.causes.spurious.get() > 0);
+        assert_eq!(stats.causes.total(), stats.aborted_attempts.get());
+        assert_eq!(stats.causes.explicit.get(), 0);
     }
 }
