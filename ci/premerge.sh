@@ -11,3 +11,6 @@ cargo clippy --workspace -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "== trace smoke: tiny traced benchmark + Chrome-JSON structural check"
+cargo run -q --release -p pto-bench --bin trace_smoke

@@ -11,11 +11,16 @@ fn show(t: &Table, name: &str) {
     // Per-series abort-cause and reclamation attribution, measured by the
     // figure harness through scoped snapshot deltas.
     print!("{}", t.render_causes());
+    // Per-series operation latency percentiles (virtual cycles).
+    print!("{}", t.render_latency());
     println!();
     pto_htm::reset_stats();
     pto_mem::counters::reset();
     if let Err(e) = t.write_csv(name) {
         eprintln!("warning: could not write results/{name}.csv: {e}");
+    }
+    if let Err(e) = t.write_latency_csv(name) {
+        eprintln!("warning: could not write results/lat_{name}.csv: {e}");
     }
 }
 

@@ -1,0 +1,105 @@
+//! CI smoke test for the trace subsystem (run by `ci/premerge.sh`).
+//!
+//! Session 1 traces a tiny fig2a-style Mindicator workload plus a
+//! lock-free skiplist workload, so the capture covers every event family:
+//! transactions (begin/commit/abort), fallbacks, epoch pin/unpin,
+//! scheduler gate waits. It exports Chrome trace-event JSON to
+//! `results/trace_fig2a.json` and runs the in-tree structural validator
+//! over it (balanced B/E pairs, monotone per-track timestamps).
+//!
+//! Session 2 re-runs with a tiny per-track capacity and asserts the
+//! overflow path: events are dropped, counted, and the drop counter is
+//! reported in the exported JSON.
+//!
+//! Exits non-zero (panics) on any failure.
+
+use pto_bench::drivers::{mbench, setbench};
+use pto_core::policy::PtoPolicy;
+use pto_mindicator::PtoMindicator;
+use pto_sim::trace::{self, EventKind, TraceSession};
+use pto_skiplist::SkipListSet;
+
+fn main() {
+    // --- Session 1: full-vocabulary capture at default capacity. -------
+    let session = TraceSession::arm();
+    // Plain PTO mindicator: commits (and under contention, conflicts).
+    mbench(|| PtoMindicator::new(64), 4, 200, 65_536, 42);
+    // Chaos-100 policy: every prefix attempt aborts, every op falls back.
+    mbench(
+        || PtoMindicator::with_policy(64, PtoPolicy::with_attempts(2).with_chaos(100)),
+        4,
+        100,
+        65_536,
+        43,
+    );
+    // Lock-free skiplist: fallback-path epoch pins on every operation.
+    setbench(SkipListSet::new_lockfree, 4, 150, 256, 34, 44);
+    let trace = session.drain();
+
+    assert!(
+        trace.any(|e| matches!(e, EventKind::TxBegin { .. })),
+        "no TxBegin events captured"
+    );
+    assert!(
+        trace.any(|e| matches!(e, EventKind::TxCommit { .. })),
+        "no TxCommit events captured"
+    );
+    assert!(
+        trace.any(|e| matches!(e, EventKind::TxAbort { .. })),
+        "no TxAbort events captured (chaos run should abort every attempt)"
+    );
+    assert!(
+        trace.any(|e| matches!(e, EventKind::FallbackEnter)),
+        "no FallbackEnter events captured"
+    );
+    assert!(
+        trace.any(|e| matches!(e, EventKind::EpochPin)),
+        "no EpochPin events captured (lock-free skiplist ops pin)"
+    );
+    assert!(
+        trace.any(|e| matches!(e, EventKind::GateWaitBegin)),
+        "no GateWaitBegin events captured"
+    );
+    let lanes: std::collections::BTreeSet<usize> =
+        trace.tracks.iter().filter_map(|t| t.lane).collect();
+    assert!(
+        lanes.len() >= 2,
+        "expected events from >= 2 simulated lanes, got {lanes:?}"
+    );
+    assert_eq!(trace.dropped(), 0, "default capacity must not drop events");
+
+    let json = trace.to_chrome_json();
+    let check = trace::validate_chrome(&json).expect("exported trace failed validation");
+    assert!(check.events > 0 && check.tracks >= 2 && check.complete_spans > 0);
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/trace_fig2a.json", &json).expect("write trace json");
+    println!(
+        "session 1: {} events, {} tracks, {} complete spans -> results/trace_fig2a.json",
+        check.events, check.tracks, check.complete_spans
+    );
+    print!("{}", trace.summary());
+
+    // --- Session 2: capacity overflow is counted and reported. ---------
+    let session = TraceSession::with_capacity(32);
+    mbench(|| PtoMindicator::new(64), 4, 300, 65_536, 45);
+    let trace = session.drain();
+    assert!(
+        trace.dropped() > 0,
+        "tiny capacity must overflow and count drops"
+    );
+    let json = trace.to_chrome_json();
+    assert!(
+        json.contains("trace_dropped"),
+        "drop counter missing from exported JSON"
+    );
+    let check = trace::validate_chrome(&json).expect("overflowed trace failed validation");
+    assert!(
+        check.dropped_reported > 0,
+        "validator did not see the reported drop count"
+    );
+    println!(
+        "session 2: {} events kept, {} dropped (reported in JSON)",
+        check.events, check.dropped_reported
+    );
+    println!("trace smoke: OK");
+}

@@ -1,5 +1,11 @@
 //! The three microbenchmark drivers of §4.1.
+//!
+//! Every measured-loop operation is stamped with the per-lane virtual
+//! clock and its latency recorded into [`crate::lat`]'s histograms
+//! (prefill work is excluded); reading the clock charges nothing, so the
+//! stamps do not perturb the virtual-time results.
 
+use crate::lat::{self, OpKind};
 use pto_core::traits::FifoQueue;
 use pto_core::{ConcurrentSet, PriorityQueue, Quiescence};
 use pto_sim::rng::XorShift64;
@@ -42,12 +48,16 @@ pub fn setbench<S: ConcurrentSet>(
         for _ in 0..ops_per_thread {
             let k = rng.below(range);
             let roll = rng.below(100);
+            let t0 = pto_sim::now();
             if roll < lookup_pct {
                 std::hint::black_box(s.contains(k));
+                lat::record(OpKind::Contains, pto_sim::now() - t0);
             } else if rng.chance(1, 2) {
                 std::hint::black_box(s.insert(k));
+                lat::record(OpKind::Insert, pto_sim::now() - t0);
             } else {
                 std::hint::black_box(s.remove(k));
+                lat::record(OpKind::Remove, pto_sim::now() - t0);
             }
         }
         total_ops.fetch_add(ops_per_thread, Ordering::Relaxed);
@@ -74,10 +84,13 @@ pub fn pqbench<Q: PriorityQueue>(
     let out = Sim::new(threads).run(|lane| {
         let mut rng = XorShift64::new(seed.wrapping_add(lane as u64 * 0x85EB_CA6B + 1));
         for _ in 0..ops_per_thread {
+            let t0 = pto_sim::now();
             if rng.chance(1, 2) {
                 q.push(rng.below(range));
+                lat::record(OpKind::Push, pto_sim::now() - t0);
             } else {
                 std::hint::black_box(q.pop_min());
+                lat::record(OpKind::Pop, pto_sim::now() - t0);
             }
         }
         total_ops.fetch_add(ops_per_thread, Ordering::Relaxed);
@@ -103,10 +116,13 @@ pub fn fifobench<Q: FifoQueue>(
     let out = Sim::new(threads).run(|lane| {
         let mut rng = XorShift64::new(seed.wrapping_add(lane as u64 * 0x27D4_EB2F + 1));
         for i in 0..ops_per_thread {
+            let t0 = pto_sim::now();
             if rng.chance(1, 2) {
                 q.enqueue(i);
+                lat::record(OpKind::Enqueue, pto_sim::now() - t0);
             } else {
                 std::hint::black_box(q.dequeue());
+                lat::record(OpKind::Dequeue, pto_sim::now() - t0);
             }
         }
         total_ops.fetch_add(ops_per_thread, Ordering::Relaxed);
@@ -129,8 +145,12 @@ pub fn mbench<M: Quiescence>(
     let out = Sim::new(threads).run(|lane| {
         let mut rng = XorShift64::new(seed.wrapping_add(lane as u64 * 0xC2B2_AE35 + 1));
         for _ in 0..pairs_per_thread {
+            let t0 = pto_sim::now();
             m.arrive(rng.below(range));
+            let t1 = pto_sim::now();
+            lat::record(OpKind::Arrive, t1 - t0);
             m.depart();
+            lat::record(OpKind::Depart, pto_sim::now() - t1);
         }
         total_ops.fetch_add(2 * pairs_per_thread, Ordering::Relaxed);
     });

@@ -26,10 +26,12 @@ const M_RANGE: u64 = 65_536;
 pub fn probe(t: &mut Table, axis: usize, series: &str, tr: u32, f: impl FnMut(u64) -> f64) -> f64 {
     let h0 = pto_htm::snapshot();
     let m0 = pto_mem::counters::snapshot();
+    crate::lat::reset();
     let v = average_trials(tr, f);
     let htm = pto_htm::snapshot().delta(&h0);
     let mem = pto_mem::counters::snapshot().delta(&m0);
     t.push_cause(axis, series, htm, mem);
+    t.push_lat(axis, series, crate::lat::snapshot());
     v
 }
 

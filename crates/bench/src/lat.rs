@@ -1,0 +1,161 @@
+//! Per-operation latency collection for the bench drivers.
+//!
+//! Each driver wraps its measured-loop operations in a virtual-time stamp
+//! pair and records the elapsed cycles into a process-global log2-bucketed
+//! [`Histogram`] per operation kind. The figure harnesses snapshot (and
+//! reset) these around every (axis, series) cell, so each cell's latency
+//! distribution is exact even though the accumulators are global —
+//! series within a figure run sequentially.
+//!
+//! Recording is two atomic RMWs plus two `fetch_min`/`fetch_max` per
+//! operation and never touches the virtual clock, so latency capture does
+//! not perturb the throughput it accompanies.
+
+use pto_sim::hist::{HistSnapshot, Histogram};
+
+/// The operation vocabulary across all drivers: set ops (setbench),
+/// priority-queue ops (pqbench), FIFO ops (fifobench), and the
+/// Mindicator's arrive/depart pairs (mbench).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    Insert,
+    Remove,
+    Contains,
+    Push,
+    Pop,
+    Enqueue,
+    Dequeue,
+    Arrive,
+    Depart,
+}
+
+/// Every kind, in display order.
+pub const ALL: [OpKind; 9] = [
+    OpKind::Insert,
+    OpKind::Remove,
+    OpKind::Contains,
+    OpKind::Push,
+    OpKind::Pop,
+    OpKind::Enqueue,
+    OpKind::Dequeue,
+    OpKind::Arrive,
+    OpKind::Depart,
+];
+
+impl OpKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Remove => "remove",
+            OpKind::Contains => "contains",
+            OpKind::Push => "push",
+            OpKind::Pop => "pop",
+            OpKind::Enqueue => "enqueue",
+            OpKind::Dequeue => "dequeue",
+            OpKind::Arrive => "arrive",
+            OpKind::Depart => "depart",
+        }
+    }
+}
+
+static HISTS: [Histogram; 9] = [const { Histogram::new() }; 9];
+
+/// Record one operation's latency in virtual cycles.
+#[inline]
+pub fn record(kind: OpKind, cycles: u64) {
+    HISTS[kind as usize].record(cycles);
+}
+
+/// The latency distributions of one measurement window: one histogram
+/// snapshot per [`OpKind`], indexed like [`ALL`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatSnapshot {
+    pub hists: [HistSnapshot; 9],
+}
+
+impl LatSnapshot {
+    /// Merge (histogram addition) with another window.
+    pub fn merge(&self, other: &LatSnapshot) -> LatSnapshot {
+        let mut out = LatSnapshot::default();
+        for i in 0..9 {
+            out.hists[i] = self.hists[i].merge(&other.hists[i]);
+        }
+        out
+    }
+
+    /// True when no operation was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(|h| h.count == 0)
+    }
+}
+
+/// Snapshot every kind's histogram.
+pub fn snapshot() -> LatSnapshot {
+    let mut s = LatSnapshot::default();
+    for (i, h) in HISTS.iter().enumerate() {
+        s.hists[i] = h.snapshot();
+    }
+    s
+}
+
+/// Zero every accumulator (start of a measurement window).
+pub fn reset() {
+    for h in &HISTS {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The accumulators are process-global; tests in this binary run in
+    // parallel threads, so every test touching them serializes here.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn record_snapshot_reset_round_trip() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        record(OpKind::Insert, 100);
+        record(OpKind::Insert, 200);
+        record(OpKind::Pop, 7);
+        let s = snapshot();
+        assert_eq!(s.hists[OpKind::Insert as usize].count, 2);
+        assert_eq!(s.hists[OpKind::Insert as usize].max, 200);
+        assert_eq!(s.hists[OpKind::Pop as usize].count, 1);
+        assert!(!s.is_empty());
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts_per_kind() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        record(OpKind::Arrive, 50);
+        let a = snapshot();
+        reset();
+        record(OpKind::Arrive, 70);
+        record(OpKind::Depart, 30);
+        let b = snapshot();
+        reset();
+        let m = a.merge(&b);
+        assert_eq!(m.hists[OpKind::Arrive as usize].count, 2);
+        assert_eq!(m.hists[OpKind::Arrive as usize].max, 70);
+        assert_eq!(m.hists[OpKind::Depart as usize].count, 1);
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered_like_all() {
+        let names: Vec<_> = ALL.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), 9);
+        assert_eq!(names, dedup);
+        for (i, k) in ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "ALL order must match discriminants");
+        }
+    }
+}

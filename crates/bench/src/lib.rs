@@ -22,6 +22,7 @@
 pub mod baselines;
 pub mod drivers;
 pub mod figs;
+pub mod lat;
 pub mod report;
 
 pub use drivers::{mbench, pqbench, setbench, PqFactory, SetFactory};

@@ -1,7 +1,7 @@
 //! Table formatting and CSV output for the figure harnesses.
 
+use crate::lat::{LatSnapshot, ALL};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// One x-axis point: a thread count plus the throughput of every series.
@@ -22,6 +22,16 @@ pub struct CauseCell {
     pub mem: pto_mem::MemSnapshot,
 }
 
+/// The operation-latency distributions of one (axis point, series) cell,
+/// snapshotted from [`crate::lat`]'s accumulators around the cell's
+/// trials.
+#[derive(Clone, Debug)]
+pub struct LatCell {
+    pub axis: usize,
+    pub series: String,
+    pub lat: LatSnapshot,
+}
+
 /// A figure: named series over the threads axis.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -31,6 +41,9 @@ pub struct Table {
     /// Per-cell abort-cause/reclamation attribution (optional; filled by
     /// figure harnesses that measure through [`crate::figs::probe`]).
     pub causes: Vec<CauseCell>,
+    /// Per-cell operation-latency distributions (optional; also filled by
+    /// [`crate::figs::probe`]).
+    pub lats: Vec<LatCell>,
 }
 
 impl Table {
@@ -40,6 +53,7 @@ impl Table {
             series: series.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             causes: Vec::new(),
+            lats: Vec::new(),
         }
     }
 
@@ -197,6 +211,104 @@ impl Table {
         out
     }
 
+    /// Attach one cell's latency snapshot.
+    pub fn push_lat(&mut self, axis: usize, series: &str, lat: LatSnapshot) {
+        if lat.is_empty() {
+            return;
+        }
+        self.lats.push(LatCell {
+            axis,
+            series: series.to_string(),
+            lat,
+        });
+    }
+
+    /// Latency percentiles aggregated per series (all axis points merged):
+    /// one row per operation kind that occurred, in virtual cycles. Empty
+    /// string when no latency cells were attached.
+    pub fn render_latency(&self) -> String {
+        if self.lats.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### latency (virtual cycles) — {}", self.title);
+        let _ = writeln!(
+            out,
+            "{:>16}{:>10}{:>10}{:>8}{:>8}{:>8}{:>8}{:>10}",
+            "series", "op", "count", "p50", "p90", "p99", "max", "mean"
+        );
+        for s in &self.series {
+            let merged = self.merged_lat_for(s);
+            for (i, kind) in ALL.iter().enumerate() {
+                let h = &merged.hists[i];
+                if h.count == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:>16}{:>10}{:>10}{:>8}{:>8}{:>8}{:>8}{:>10.1}",
+                    trunc(s, 16),
+                    kind.name(),
+                    h.count,
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max,
+                    h.mean()
+                );
+            }
+        }
+        out
+    }
+
+    /// The latency CSV body written to `results/lat_<name>.csv`.
+    pub fn latency_csv_string(&self) -> String {
+        let mut out = String::from("series,op,count,p50,p90,p99,max,mean\n");
+        for s in &self.series {
+            let merged = self.merged_lat_for(s);
+            for (i, kind) in ALL.iter().enumerate() {
+                let h = &merged.hists[i];
+                if h.count == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{:.1}",
+                    s,
+                    kind.name(),
+                    h.count,
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max,
+                    h.mean()
+                );
+            }
+        }
+        out
+    }
+
+    /// Write `results/lat_<name>.csv` (no file when no latency cells).
+    pub fn write_latency_csv(&self, name: &str) -> std::io::Result<()> {
+        if self.lats.is_empty() {
+            return Ok(());
+        }
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join(format!("lat_{name}.csv")),
+            self.latency_csv_string(),
+        )
+    }
+
+    /// Merge every latency cell for `series` across the axis.
+    fn merged_lat_for(&self, series: &str) -> LatSnapshot {
+        self.lats
+            .iter()
+            .filter(|c| c.series == series)
+            .fold(LatSnapshot::default(), |acc, c| acc.merge(&c.lat))
+    }
+
     /// Merge every attached cell for `series` across the axis.
     fn merged_for(&self, series: &str) -> (pto_htm::HtmSnapshot, pto_mem::MemSnapshot) {
         self.causes
@@ -207,25 +319,137 @@ impl Table {
             })
     }
 
+    /// The CSV body written to `results/<name>.csv`: the threads × series
+    /// throughput matrix, then — when cause cells are attached — a blank
+    /// line and a second table carrying every counter
+    /// [`Table::render_causes`] prints (and the rest of the two snapshots,
+    /// so a parsed file reconstructs them exactly).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::from("threads");
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        out.push('\n');
+        for r in &self.rows {
+            let _ = write!(out, "{}", r.threads);
+            for v in &r.values {
+                let _ = write!(out, ",{v:.1}");
+            }
+            out.push('\n');
+        }
+        if !self.causes.is_empty() {
+            out.push('\n');
+            out.push_str(CAUSE_CSV_HEADER);
+            out.push('\n');
+            for c in &self.causes {
+                let (h, m) = (&c.htm, &c.mem);
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    c.axis,
+                    c.series,
+                    h.begins,
+                    h.commits,
+                    h.aborts_conflict,
+                    h.aborts_capacity,
+                    h.aborts_explicit,
+                    h.aborts_nested,
+                    h.aborts_spurious,
+                    m.epoch_advances,
+                    m.hazard_scans,
+                    m.hazard_reclaimed,
+                    m.limbo_reclaimed,
+                    m.orphans_parked,
+                    m.orphans_drained,
+                    m.lanes_released
+                );
+            }
+        }
+        out
+    }
+
+    /// Parse a [`Table::to_csv_string`] body back (the title is not stored
+    /// in the CSV and must be supplied). Inverse of `to_csv_string` up to
+    /// the one-decimal rounding of throughput values.
+    pub fn parse_csv(title: &str, text: &str) -> Result<Table, String> {
+        let mut sections = text.split("\n\n");
+        let matrix = sections.next().ok_or("empty csv")?;
+        let mut lines = matrix.lines();
+        let header = lines.next().ok_or("missing header")?;
+        let mut cols = header.split(',');
+        if cols.next() != Some("threads") {
+            return Err(format!("bad matrix header: {header}"));
+        }
+        let series: Vec<&str> = cols.collect();
+        let mut t = Table::new(title, &series);
+        for line in lines.filter(|l| !l.is_empty()) {
+            let mut f = line.split(',');
+            let threads = parse_field::<usize>(&mut f, line)?;
+            let mut values = Vec::new();
+            for _ in &t.series {
+                values.push(parse_field::<f64>(&mut f, line)?);
+            }
+            t.push(threads, values);
+        }
+        if let Some(causes) = sections.next() {
+            let mut lines = causes.lines().filter(|l| !l.is_empty());
+            let header = lines.next().ok_or("missing cause header")?;
+            if header != CAUSE_CSV_HEADER {
+                return Err(format!("bad cause header: {header}"));
+            }
+            for line in lines {
+                let mut f = line.split(',');
+                let axis = parse_field::<usize>(&mut f, line)?;
+                let series = f.next().ok_or_else(|| format!("short row: {line}"))?.to_string();
+                let htm = pto_htm::HtmSnapshot {
+                    begins: parse_field(&mut f, line)?,
+                    commits: parse_field(&mut f, line)?,
+                    aborts_conflict: parse_field(&mut f, line)?,
+                    aborts_capacity: parse_field(&mut f, line)?,
+                    aborts_explicit: parse_field(&mut f, line)?,
+                    aborts_nested: parse_field(&mut f, line)?,
+                    aborts_spurious: parse_field(&mut f, line)?,
+                };
+                let mem = pto_mem::MemSnapshot {
+                    epoch_advances: parse_field(&mut f, line)?,
+                    hazard_scans: parse_field(&mut f, line)?,
+                    hazard_reclaimed: parse_field(&mut f, line)?,
+                    limbo_reclaimed: parse_field(&mut f, line)?,
+                    orphans_parked: parse_field(&mut f, line)?,
+                    orphans_drained: parse_field(&mut f, line)?,
+                    lanes_released: parse_field(&mut f, line)?,
+                };
+                t.push_cause(axis, &series, htm, mem);
+            }
+        }
+        Ok(t)
+    }
+
     /// Write `results/<name>.csv`.
     pub fn write_csv(&self, name: &str) -> std::io::Result<()> {
         let dir = Path::new("results");
         std::fs::create_dir_all(dir)?;
-        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
-        write!(f, "threads")?;
-        for s in &self.series {
-            write!(f, ",{s}")?;
-        }
-        writeln!(f)?;
-        for r in &self.rows {
-            write!(f, "{}", r.threads)?;
-            for v in &r.values {
-                write!(f, ",{v:.1}")?;
-            }
-            writeln!(f)?;
-        }
-        Ok(())
+        std::fs::write(
+            Path::new("results").join(format!("{name}.csv")),
+            self.to_csv_string(),
+        )
     }
+}
+
+/// Header of the cause section in [`Table::to_csv_string`].
+pub const CAUSE_CSV_HEADER: &str = "axis,series,begins,commits,conflict,capacity,explicit,\
+nested,spurious,epoch_advances,hazard_scans,hazard_reclaimed,limbo_reclaimed,orphans_parked,\
+orphans_drained,lanes_released";
+
+fn parse_field<'a, T: std::str::FromStr>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    line: &str,
+) -> Result<T, String> {
+    fields
+        .next()
+        .ok_or_else(|| format!("short row: {line}"))?
+        .parse::<T>()
+        .map_err(|_| format!("bad number in row: {line}"))
 }
 
 fn short(s: &str) -> String {
@@ -318,5 +542,97 @@ mod tests {
         let t = Table::new("x", &["a"]);
         assert!(t.render_causes().is_empty());
         assert!(t.render_causes_by_axis().is_empty());
+    }
+
+    #[test]
+    fn csv_round_trips_rows_and_causes() {
+        let mut t = Table::new("RT", &["lf", "pto"]);
+        t.push(1, vec![100.0, 150.5]);
+        t.push(8, vec![200.0, 640.5]);
+        let htm = pto_htm::HtmSnapshot {
+            begins: 40,
+            commits: 30,
+            aborts_conflict: 6,
+            aborts_capacity: 1,
+            aborts_explicit: 2,
+            aborts_nested: 0,
+            aborts_spurious: 1,
+        };
+        let mem = pto_mem::MemSnapshot {
+            epoch_advances: 9,
+            hazard_scans: 3,
+            hazard_reclaimed: 128,
+            orphans_parked: 5,
+            orphans_drained: 5,
+            lanes_released: 8,
+            limbo_reclaimed: 64,
+        };
+        t.push_cause(1, "pto", htm, mem);
+        t.push_cause(8, "pto", Default::default(), Default::default());
+        let text = t.to_csv_string();
+        let back = Table::parse_csv("RT", &text).expect("parse");
+        assert_eq!(back.series, t.series);
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.rows[1].threads, 8);
+        assert_eq!(back.rows[1].values, vec![200.0, 640.5]);
+        assert_eq!(back.causes.len(), 2);
+        assert_eq!(back.causes[0].series, "pto");
+        assert_eq!(back.causes[0].htm, htm);
+        assert_eq!(back.causes[0].mem, mem);
+        // Everything render_causes prints is reconstructible: the rendered
+        // cause table of the round-tripped table is identical.
+        assert_eq!(back.render_causes(), t.render_causes());
+        // And a second round-trip is textually a fixed point.
+        assert_eq!(back.to_csv_string(), text);
+    }
+
+    #[test]
+    fn csv_without_causes_parses_with_empty_causes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push(4, vec![10.0]);
+        let back = Table::parse_csv("x", &t.to_csv_string()).expect("parse");
+        assert!(back.causes.is_empty());
+        assert_eq!(back.rows[0].values, vec![10.0]);
+    }
+
+    #[test]
+    fn csv_parse_rejects_garbage() {
+        assert!(Table::parse_csv("x", "nope,a\n1,2\n").is_err());
+        assert!(Table::parse_csv("x", "threads,a\n1,zzz\n").is_err());
+        assert!(Table::parse_csv("x", "threads,a\n1,2\n\nbad,header\n").is_err());
+    }
+
+    #[test]
+    fn latency_table_renders_percentiles_per_series() {
+        use crate::lat::{LatSnapshot, OpKind};
+        let mut t = Table::new("L", &["lf", "pto"]);
+        let mut lat = LatSnapshot::default();
+        let h = pto_sim::hist::Histogram::new();
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        lat.hists[OpKind::Arrive as usize] = h.snapshot();
+        t.push_lat(1, "pto", lat.clone());
+        t.push_lat(8, "pto", lat);
+        let s = t.render_latency();
+        assert!(s.contains("arrive"), "missing op row:\n{s}");
+        assert!(s.contains("p50") && s.contains("p99"));
+        // Two cells merged: count 8.
+        assert!(s.contains('8'), "merged count missing:\n{s}");
+        let csv = t.latency_csv_string();
+        assert!(csv.starts_with("series,op,count,p50,p90,p99,max,mean"));
+        assert!(csv.contains("pto,arrive,8,"));
+        // Series without samples contribute no rows.
+        assert!(!csv.contains("lf,"));
+    }
+
+    #[test]
+    fn latency_table_empty_without_cells() {
+        let t = Table::new("L", &["a"]);
+        assert!(t.render_latency().is_empty());
+        // Empty snapshots are not even attached.
+        let mut t2 = Table::new("L", &["a"]);
+        t2.push_lat(1, "a", crate::lat::LatSnapshot::default());
+        assert!(t2.lats.is_empty());
     }
 }

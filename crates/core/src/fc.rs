@@ -19,6 +19,7 @@
 use pto_sim::pad::CachePadded;
 use pto_sim::stats::Counter;
 use pto_sim::sync::Mutex;
+use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -138,12 +139,15 @@ impl<S> FlatCombining<S> {
                 // CAS) services every pending request.
                 charge(CostKind::Cas);
                 self.stats.combines.inc();
+                trace::emit(EventKind::CombineBegin);
+                let mut round = 0u64;
                 for other in self.slots.iter() {
                     charge(CostKind::SharedLoad);
                     let r = other.req.load(Ordering::Acquire);
                     if r & PENDING != 0 {
                         let resp = apply(&mut s, r & !PENDING);
                         self.stats.serviced.inc();
+                        round += 1;
                         charge(CostKind::SharedStore);
                         other.resp.store(resp, Ordering::Release);
                         charge(CostKind::SharedStore);
@@ -151,6 +155,7 @@ impl<S> FlatCombining<S> {
                     }
                 }
                 charge(CostKind::SharedStore); // lock release
+                trace::emit(EventKind::CombineEnd { serviced: round });
             }
             charge(CostKind::SharedLoad);
             if slot.req.load(Ordering::Acquire) & PENDING == 0 {

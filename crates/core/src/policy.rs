@@ -3,6 +3,7 @@
 use pto_htm::{transaction_with, AbortCause, CauseCounters, FenceMode, TxOpts, TxResult, Txn};
 use pto_sim::rng::XorShift64;
 use pto_sim::stats::Counter;
+use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge_n, CostKind};
 
 /// Inter-retry backoff applied after *transient* aborts (conflict or
@@ -211,17 +212,22 @@ pub fn pto<'e, T>(
                         let window =
                             ((base as u64) << attempt.min(32)).min(cap.max(1) as u64).max(1);
                         let spins = 1 + backoff_rng_draw(window);
+                        trace::emit(EventKind::BackoffBegin { spins });
                         charge_n(CostKind::SpinIter, spins);
                         for _ in 0..spins {
                             std::hint::spin_loop();
                         }
+                        trace::emit(EventKind::BackoffEnd);
                     }
                 }
             }
         }
     }
     stats.fallback.inc();
-    fallback()
+    trace::emit(EventKind::FallbackEnter);
+    let v = fallback();
+    trace::emit(EventKind::FallbackExit);
+    v
 }
 
 /// Hierarchical composition `T_B(T_A(G))` (§2.5): attempt the large prefix

@@ -11,6 +11,7 @@
 
 use pto_htm::{transaction_with, Abort, AbortCause, CauseCounters, TxOpts, TxResult, TxWord, Txn};
 use pto_sim::stats::Counter;
+use pto_sim::trace::{self, EventKind};
 use std::sync::atomic::Ordering;
 
 /// Dual-mode memory accessor: the sequential critical section is written
@@ -114,7 +115,10 @@ impl Tle {
                 Err(cause) => self.stats.aborts.record(cause),
             }
         }
-        // Serialized fallback: acquire the global lock.
+        // Serialized fallback: acquire the global lock. For TLE the
+        // "fallback" span covers the whole lock-acquire/run/release
+        // section — lock waits show up as span length in a trace.
+        trace::emit(EventKind::FallbackEnter);
         loop {
             if self.lock.load(Ordering::Acquire) == 0 && self.lock.cas(0, 1) {
                 break;
@@ -126,6 +130,7 @@ impl Tle {
         });
         self.lock.store(0, Ordering::Release);
         self.stats.locked.inc();
+        trace::emit(EventKind::FallbackExit);
         v
     }
 }

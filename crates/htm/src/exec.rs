@@ -10,6 +10,7 @@
 use crate::stats;
 use crate::txn::{AbortCause, FenceMode, Txn};
 use crate::TxResult;
+use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
 
@@ -126,27 +127,39 @@ pub fn transaction_with<'e, T>(
 
     charge(CostKind::TxBegin);
     stats::record_begin();
-    let mut tx = Txn::new(crate::orec::gvc_now(), opts.fence_mode, opts.read_cap, opts.write_cap);
+    let rv = crate::orec::gvc_now();
+    trace::emit(EventKind::TxBegin { rv });
+    let mut tx = Txn::new(rv, opts.fence_mode, opts.read_cap, opts.write_cap);
     match f(&mut tx) {
         Ok(_) if opts.chaos_abort_pct > 0 && chaos_strikes(opts.chaos_abort_pct) => {
             charge(CostKind::TxAbort);
             stats::record_abort(AbortCause::Spurious);
+            trace::emit(EventKind::TxAbort {
+                cause: AbortCause::Spurious.trace_code(),
+            });
             Err(AbortCause::Spurious)
         }
         Ok(val) => match tx.commit() {
-            Ok(()) => {
+            Ok(wv) => {
                 stats::record_commit();
+                trace::emit(EventKind::TxCommit { wv });
                 Ok(val)
             }
             Err(cause) => {
                 charge(CostKind::TxAbort);
                 stats::record_abort(cause);
+                trace::emit(EventKind::TxAbort {
+                    cause: cause.trace_code(),
+                });
                 Err(cause)
             }
         },
         Err(abort) => {
             charge(CostKind::TxAbort);
             stats::record_abort(abort.cause);
+            trace::emit(EventKind::TxAbort {
+                cause: abort.cause.trace_code(),
+            });
             Err(abort.cause)
         }
     }

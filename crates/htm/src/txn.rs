@@ -47,6 +47,19 @@ impl AbortCause {
     pub fn retry_hint(self) -> bool {
         matches!(self, AbortCause::Conflict | AbortCause::Spurious)
     }
+
+    /// Compact cause code carried in [`pto_sim::trace::EventKind::TxAbort`]
+    /// payloads; indexes [`pto_sim::trace::CAUSE_NAMES`]. The explicit
+    /// abort's 8-bit program code is not preserved in the trace.
+    pub fn trace_code(self) -> u8 {
+        match self {
+            AbortCause::Conflict => 0,
+            AbortCause::Capacity => 1,
+            AbortCause::Explicit(_) => 2,
+            AbortCause::Nested => 3,
+            AbortCause::Spurious => 4,
+        }
+    }
 }
 
 /// Error token carried out of a failed transactional step via `?`.
@@ -199,13 +212,16 @@ impl<'e> Txn<'e> {
     }
 
     /// Attempt to commit. On success the buffered writes become visible
-    /// atomically; on failure nothing is visible and the cause is returned.
-    pub(crate) fn commit(self) -> Result<(), AbortCause> {
+    /// atomically and the serialization version is returned: the write
+    /// version `wv` for update transactions, `rv` for read-only ones
+    /// (which serialize at their begin time). On failure nothing is
+    /// visible and the cause is returned.
+    pub(crate) fn commit(self) -> Result<u64, AbortCause> {
         if self.writes.is_empty() {
             // Read-only fast path: every read already validated against rv,
             // so the transaction serializes at its begin time.
             charge(CostKind::TxEnd);
-            return Ok(());
+            return Ok(self.rv);
         }
 
         // Lock the write orecs in sorted order. Sorted order means two
@@ -270,7 +286,7 @@ impl<'e> Txn<'e> {
             orec::orec_at(oidx).store(newv, Ordering::Release);
         }
         charge(CostKind::TxEnd);
-        Ok(())
+        Ok(wv)
     }
 
     fn release(acquired: &[(usize, u64)]) {

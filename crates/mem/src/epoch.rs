@@ -15,6 +15,7 @@
 //! docs for why that is safe on this substrate.
 
 use pto_sim::pad::CachePadded;
+use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -110,6 +111,7 @@ impl Drop for Guard {
             if d == 0 {
                 charge(CostKind::EpochUnpin);
                 registry().announce[self.slot].store(0, Ordering::Release);
+                trace::emit(EventKind::EpochUnpin);
             }
         });
     }
@@ -163,6 +165,7 @@ pub fn pin() -> Guard {
                 }
                 e = cur;
             }
+            trace::emit(EventKind::EpochPin);
         }
     });
     Guard { slot }
@@ -190,6 +193,7 @@ pub fn try_advance() -> bool {
         .is_ok();
     if advanced {
         crate::counters::record_epoch_advance();
+        trace::emit(EventKind::EpochAdvance { epoch: e + 2 });
     }
     advanced
 }

@@ -72,6 +72,12 @@ pub fn now() -> u64 {
     CTX.with(|ctx| ctx.clock.get())
 }
 
+/// The gate lane the current thread is attached to, or `None` outside a
+/// simulation (used by the tracer to label tracks).
+pub fn current_lane() -> Option<usize> {
+    CTX.with(|ctx| ctx.gate.borrow().as_ref().map(|_| ctx.lane.get()))
+}
+
 /// Reset the current thread's clock to zero (unit-test helper; also called
 /// by the scheduler when a lane is attached).
 pub fn reset() {

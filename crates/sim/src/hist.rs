@@ -1,0 +1,282 @@
+//! Log2-bucketed latency histograms over virtual cycles.
+//!
+//! The bench drivers record one sample per completed operation (its
+//! virtual-cycle latency); `report.rs` renders p50/p90/p99/max columns from
+//! the resulting [`HistSnapshot`]s. Buckets are powers of two — bucket `i`
+//! covers `[2^i, 2^(i+1))` (bucket 0 also holds 0) — so recording is two
+//! relaxed atomic RMWs and no allocation, and a percentile is exact to
+//! within a 2× bucket width while `max` is exact.
+//!
+//! Recording never calls [`charge`](crate::charge): histograms observe the
+//! simulation, they are not part of the cost model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible `ilog2` of a `u64` sample.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index a sample lands in (`0` and `1` share bucket 0).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    v.checked_ilog2().unwrap_or(0) as usize
+}
+
+/// Inclusive `[lo, hi]` sample bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS);
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+    (lo, hi)
+}
+
+/// A concurrently-recordable histogram (static-friendly: `new` is const).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Relaxed atomics: per-sample totals are exact,
+    /// cross-thread ordering is irrelevant for a histogram.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy out the current contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero everything (harness use, between scoped regions).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    /// Wrapping sum of all samples (the atomic accumulator wraps on
+    /// overflow; `merge` wraps identically).
+    pub sum: u64,
+    /// Largest recorded sample (0 when empty); exact, unlike percentiles.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Bucket-wise sum: `a.merge(&b)` equals the histogram of the
+    /// concatenated sample streams.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100), as the upper bound of the
+    /// bucket containing the rank-`⌈p·n/100⌉` sample, clamped to `max` so
+    /// every percentile is a value the stream could actually contain and
+    /// `p ≤ 100` implies `percentile(p) ≤ max`. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proptest::{check, range_u64, range_usize, vec_of, Config};
+
+    fn hist_of(samples: &[u64]) -> HistSnapshot {
+        let h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let s = hist_of(&[37]);
+        assert_eq!(s.p50(), 37);
+        assert_eq!(s.p99(), 37);
+        assert_eq!(s.max, 37);
+        assert_eq!(s.mean(), 37.0);
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        // 99 samples of 10 and one of 100_000: p50/p90 sit in 10's bucket,
+        // max catches the outlier.
+        let mut samples = vec![10u64; 99];
+        samples.push(100_000);
+        let s = hist_of(&samples);
+        assert_eq!(s.count, 100);
+        assert!(s.p50() < 16, "p50 {} not in 10's bucket", s.p50());
+        assert!(s.p90() < 16);
+        assert_eq!(s.max, 100_000);
+        assert!(s.p99() <= s.max);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(1 << 40);
+        h.reset();
+        assert_eq!(h.snapshot(), HistSnapshot::default());
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        // Buckets tile the whole domain with no gaps or overlaps.
+        assert_eq!(bucket_bounds(0), (0, 1));
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, bucket_bounds(i - 1).1 + 1);
+            assert!(hi >= lo);
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    // -- satellite: proptest-lite properties over arbitrary u64 samples --
+
+    #[test]
+    fn prop_percentiles_are_monotone_and_bounded_by_max() {
+        check(
+            &Config::with_cases(128),
+            "hist_percentile_monotone",
+            &vec_of(range_u64(0..u64::MAX), 0..128),
+            |samples| {
+                let s = hist_of(samples);
+                assert!(s.p50() <= s.p90(), "p50 > p90 for {samples:?}");
+                assert!(s.p90() <= s.p99(), "p90 > p99 for {samples:?}");
+                assert!(s.p99() <= s.max, "p99 {} > max {}", s.p99(), s.max);
+            },
+        );
+    }
+
+    #[test]
+    fn prop_merge_equals_concatenation() {
+        // Generate one stream plus a split point: hist(a) ⊎ hist(b) must
+        // equal hist(a ++ b) field-for-field.
+        check(
+            &Config::with_cases(128),
+            "hist_merge_is_concat",
+            &(vec_of(range_u64(0..u64::MAX), 0..96), range_usize(0..96)),
+            |(samples, cut)| {
+                let cut = (*cut).min(samples.len());
+                let (a, b) = samples.split_at(cut);
+                let merged = hist_of(a).merge(&hist_of(b));
+                assert_eq!(merged, hist_of(samples));
+            },
+        );
+    }
+
+    #[test]
+    fn prop_samples_land_in_their_bucket_bounds() {
+        check(
+            &Config::with_cases(256),
+            "hist_bucket_containment",
+            &range_u64(0..u64::MAX),
+            |&v| {
+                let (lo, hi) = bucket_bounds(bucket_of(v));
+                assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+                // Recording exactly one sample puts it in exactly that
+                // bucket and nowhere else.
+                let s = hist_of(&[v]);
+                assert_eq!(s.buckets[bucket_of(v)], 1);
+                assert_eq!(s.buckets.iter().sum::<u64>(), 1);
+                assert_eq!(s.percentile(100.0), v);
+            },
+        );
+    }
+}

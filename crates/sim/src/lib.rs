@@ -25,6 +25,12 @@
 //! * [`sync`] — `parking_lot`-style `Mutex`/`Condvar` shims over `std::sync`.
 //! * [`proptest`] — proptest-lite, the in-tree property-test harness used by
 //!   every crate's differential-oracle suites.
+//! * [`trace`] — virtual-time event tracing: per-thread bounded buffers of
+//!   timestamped events armed by a scoped `TraceSession`, exported as Chrome
+//!   trace-event JSON (Perfetto-loadable) or a terminal span summary.
+//! * [`hist`] — log2-bucketed latency histograms (p50/p90/p99/max in
+//!   virtual cycles) recorded by the bench drivers.
+//! * [`json`] — a minimal JSON reader backing the trace validator.
 //!
 //! The whole workspace builds hermetically: these modules exist precisely so
 //! the default dependency graph contains no crates-io packages.
@@ -34,12 +40,15 @@
 
 pub mod clock;
 pub mod cost;
+pub mod hist;
+pub mod json;
 pub mod pad;
 pub mod proptest;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 
 pub use clock::{charge, charge_cycles, charge_n, now};
 pub use cost::CostKind;

@@ -79,10 +79,16 @@ impl Gate {
             self.cv.notify_all();
         }
         if now > m.saturating_add(self.quantum) {
+            // The wait spans zero virtual time (waiting charges nothing);
+            // the trace events still mark where this lane stalled for
+            // stragglers — long waits point at load imbalance.
+            crate::trace::emit(crate::trace::EventKind::GateWaitBegin);
             let mut g = self.lock.lock();
             while now > self.min_clock().saturating_add(self.quantum) {
                 self.cv.wait(&mut g);
             }
+            drop(g);
+            crate::trace::emit(crate::trace::EventKind::GateWaitEnd);
         }
     }
 
