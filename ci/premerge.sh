@@ -14,3 +14,6 @@ cargo test -q
 
 echo "== trace smoke: tiny traced benchmark + Chrome-JSON structural check"
 cargo run -q --release -p pto-bench --bin trace_smoke
+
+echo "== perf smoke: wallclock hot paths + BENCH_sim.json structural check"
+cargo run -q --release -p pto-bench --bin perf_smoke -- --check

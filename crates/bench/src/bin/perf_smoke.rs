@@ -1,0 +1,260 @@
+//! Wallclock microbenchmarks of the simulator's hot paths.
+//!
+//! Everything this workspace measures is *virtual* time; this binary is the
+//! one place that times *wallclock* — the harness overhead that bounds how
+//! many trials, lanes, and sweeps the figure harnesses can afford (see
+//! DESIGN.md §2.2, "two clocks"). It times each wallclock hot path in
+//! isolation plus a miniature `run_all`, and writes `BENCH_sim.json` with
+//! per-path ns/op, the pre-PR-4 baseline recorded on the same host, and the
+//! speedup ratios — the first point of the perf trajectory.
+//!
+//! Paths timed:
+//!
+//! * `charge_1lane` — `clock::charge_cycles` with a gate attached but no
+//!   peers: the pure thread-local fast path.
+//! * `charge_sync` — 4 balanced lanes crossing quantum boundaries: the
+//!   clock fast path plus `Gate::sync` publishing/min-tracking.
+//! * `txn` — uncontended read/write transactions (descriptor setup,
+//!   read/write-set handling, commit locking).
+//! * `pool` — alloc/free_now churn plus retire/drain (free-list and limbo
+//!   handling).
+//! * `mini_run_all` — a scaled-down slice of the real figure sweep
+//!   (setbench/pqbench/mbench over lock-free and PTO variants at 1 and 4
+//!   lanes), i.e. the composition of all of the above.
+//!
+//! Run with `--check` for the premerge gate: reduced iteration counts, and
+//! the emitted JSON is re-read and structurally validated (no thresholds —
+//! wallclock on shared CI hosts is noise; the trajectory is for humans).
+
+use pto_bench::drivers::{mbench, pqbench, setbench};
+use pto_htm::{transaction, TxWord};
+use pto_mem::Pool;
+use pto_sim::{json, Sim};
+use std::time::Instant;
+
+/// Pre-PR-4 baseline: a build of commit 67d054d (the seed of this PR)
+/// with this binary grafted in, run *interleaved* with the optimized
+/// build on the same host (3 alternating pairs, medians taken) so host
+/// drift cannot masquerade as speedup. ns/op for the microbenches,
+/// seconds for the mini sweep.
+const BASELINE_RECORDED_AT: &str = "pre-PR4 (commit 67d054d, interleaved A/B medians)";
+const BASELINE_CHARGE_1LANE_NS: f64 = 5.17;
+const BASELINE_CHARGE_SYNC_NS: f64 = 23.82;
+const BASELINE_TXN_NS: f64 = 198.26;
+const BASELINE_POOL_NS: f64 = 59.93;
+const BASELINE_MINI_RUN_ALL_S: f64 = 0.338;
+
+struct Scale {
+    charge_iters: u64,
+    txn_iters: u64,
+    pool_iters: u64,
+    mini_ops: u64,
+}
+
+const FULL: Scale = Scale {
+    charge_iters: 4_000_000,
+    txn_iters: 400_000,
+    pool_iters: 1_000_000,
+    mini_ops: 3_000,
+};
+
+const CHECK: Scale = Scale {
+    charge_iters: 200_000,
+    txn_iters: 20_000,
+    pool_iters: 50_000,
+    mini_ops: 60,
+};
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// One lane under the gate, pure charge loop: ns per `charge_cycles`.
+fn bench_charge_1lane(iters: u64) -> f64 {
+    let (s, _) = time(|| {
+        Sim::new(1).run(|_| {
+            for _ in 0..iters {
+                pto_sim::charge_cycles(3);
+            }
+        })
+    });
+    s * 1e9 / iters as f64
+}
+
+/// Four balanced lanes crossing quantum boundaries: ns per charge,
+/// including the lanes' `Gate::sync` traffic.
+fn bench_charge_sync(iters_per_lane: u64) -> f64 {
+    const LANES: u64 = 4;
+    let (s, _) = time(|| {
+        Sim::new(LANES as usize).run(|_| {
+            for _ in 0..iters_per_lane {
+                pto_sim::charge_cycles(3);
+            }
+        })
+    });
+    s * 1e9 / (iters_per_lane * LANES) as f64
+}
+
+/// Uncontended transactions: 8 reads + 4 writes each, ns per transaction.
+fn bench_txn(iters: u64) -> f64 {
+    let words: Vec<TxWord> = (0..8).map(TxWord::new).collect();
+    let (s, _) = time(|| {
+        for _ in 0..iters {
+            let r = transaction(|tx| {
+                let mut acc = 0;
+                for w in &words {
+                    acc += tx.read(w)?;
+                }
+                for w in &words[..4] {
+                    tx.write(w, acc)?;
+                }
+                Ok(acc)
+            });
+            std::hint::black_box(r.unwrap());
+        }
+    });
+    s * 1e9 / iters as f64
+}
+
+/// Pool churn: alloc/free_now pairs with a retire every 16th round,
+/// ns per alloc+free pair.
+fn bench_pool(iters: u64) -> f64 {
+    #[derive(Default)]
+    struct Node {
+        _w: TxWord,
+    }
+    let pool: Pool<Node> = Pool::new();
+    let (s, _) = time(|| {
+        for i in 0..iters {
+            let idx = pool.alloc();
+            if i % 16 == 0 {
+                pool.retire(idx);
+            } else {
+                pool.free_now(idx);
+            }
+        }
+    });
+    s * 1e9 / iters as f64
+}
+
+/// A miniature `run_all`: one slice of each driver family over lock-free
+/// and PTO variants at 1 and 4 lanes. Returns total seconds.
+fn bench_mini_run_all(ops: u64) -> f64 {
+    use pto_list::{HarrisList, ListVariant};
+    use pto_mindicator::{LockFreeMindicator, PtoMindicator};
+    use pto_mound::Mound;
+    use pto_skiplist::SkipListSet;
+    let (s, _) = time(|| {
+        for &n in &[1usize, 4] {
+            std::hint::black_box(setbench(
+                SkipListSet::new_lockfree,
+                n,
+                ops,
+                512,
+                34,
+                42,
+            ));
+            std::hint::black_box(setbench(SkipListSet::new_pto, n, ops, 512, 34, 42));
+            std::hint::black_box(setbench(
+                || HarrisList::new(ListVariant::PtoWhole),
+                n,
+                ops,
+                128,
+                34,
+                42,
+            ));
+            std::hint::black_box(pqbench(|| Mound::new_pto(16), n, ops, 1024, 7));
+            std::hint::black_box(mbench(|| LockFreeMindicator::new(64), n, ops, 4096, 3));
+            std::hint::black_box(mbench(|| PtoMindicator::new(64), n, ops, 4096, 3));
+        }
+    });
+    s
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "null".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn ratio(baseline: f64, current: f64) -> f64 {
+    if baseline.is_nan() || current <= 0.0 {
+        f64::NAN
+    } else {
+        baseline / current
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let scale = if check { &CHECK } else { &FULL };
+    let mode = if check { "check" } else { "full" };
+    println!("perf_smoke ({mode} mode) — wallclock hot-path microbenches");
+
+    let charge_1lane = bench_charge_1lane(scale.charge_iters);
+    println!("  charge_1lane : {charge_1lane:8.2} ns/op");
+    let charge_sync = bench_charge_sync(scale.charge_iters / 4);
+    println!("  charge_sync  : {charge_sync:8.2} ns/op");
+    let txn = bench_txn(scale.txn_iters);
+    println!("  txn          : {txn:8.2} ns/op");
+    let pool = bench_pool(scale.pool_iters);
+    println!("  pool         : {pool:8.2} ns/op");
+    let mini = bench_mini_run_all(scale.mini_ops);
+    println!("  mini_run_all : {mini:8.3} s");
+
+    let json_text = format!(
+        "{{\n  \"schema\": \"pto-perf-smoke-v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"baseline\": {{\n    \"recorded_at\": \"{rec}\",\n    \
+         \"charge_1lane_ns\": {b1},\n    \"charge_sync_ns\": {bs},\n    \
+         \"txn_ns\": {bt},\n    \"pool_ns\": {bp},\n    \"mini_run_all_s\": {bm}\n  }},\n  \
+         \"current\": {{\n    \"charge_1lane_ns\": {c1},\n    \"charge_sync_ns\": {cs},\n    \
+         \"txn_ns\": {ct},\n    \"pool_ns\": {cp},\n    \"mini_run_all_s\": {cm}\n  }},\n  \
+         \"speedup\": {{\n    \"charge_1lane\": {s1},\n    \"charge_sync\": {ss},\n    \
+         \"txn\": {st},\n    \"pool\": {sp},\n    \"mini_run_all\": {sm}\n  }}\n}}\n",
+        rec = BASELINE_RECORDED_AT,
+        b1 = fmt_f64(BASELINE_CHARGE_1LANE_NS),
+        bs = fmt_f64(BASELINE_CHARGE_SYNC_NS),
+        bt = fmt_f64(BASELINE_TXN_NS),
+        bp = fmt_f64(BASELINE_POOL_NS),
+        bm = fmt_f64(BASELINE_MINI_RUN_ALL_S),
+        c1 = fmt_f64(charge_1lane),
+        cs = fmt_f64(charge_sync),
+        ct = fmt_f64(txn),
+        cp = fmt_f64(pool),
+        cm = fmt_f64(mini),
+        s1 = fmt_f64(ratio(BASELINE_CHARGE_1LANE_NS, charge_1lane)),
+        ss = fmt_f64(ratio(BASELINE_CHARGE_SYNC_NS, charge_sync)),
+        st = fmt_f64(ratio(BASELINE_TXN_NS, txn)),
+        sp = fmt_f64(ratio(BASELINE_POOL_NS, pool)),
+        sm = fmt_f64(ratio(BASELINE_MINI_RUN_ALL_S, mini)),
+    );
+    std::fs::write("BENCH_sim.json", &json_text).expect("writing BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+
+    // Structural self-check: the emitted file must parse and carry every
+    // expected member. This is the whole premerge gate — wallclock numbers
+    // on shared hosts are noise, so no thresholds.
+    let reread = std::fs::read_to_string("BENCH_sim.json").expect("re-reading BENCH_sim.json");
+    let v = json::Value::parse(&reread).expect("BENCH_sim.json must be valid JSON");
+    for section in ["baseline", "current", "speedup"] {
+        let s = v
+            .get(section)
+            .unwrap_or_else(|| panic!("BENCH_sim.json missing \"{section}\""));
+        for key in ["charge_1lane", "charge_sync", "txn", "pool", "mini_run_all"] {
+            let full_key = match section {
+                "speedup" => key.to_string(),
+                _ if key == "mini_run_all" => format!("{key}_s"),
+                _ => format!("{key}_ns"),
+            };
+            assert!(
+                s.get(&full_key).is_some(),
+                "BENCH_sim.json missing {section}.{full_key}"
+            );
+        }
+    }
+    println!("BENCH_sim.json structurally valid");
+}

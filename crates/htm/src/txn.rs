@@ -14,10 +14,23 @@
 //!
 //! Exceeding the configured read/write capacities aborts with `Capacity`,
 //! modeling the L1-bounded write set of a real best-effort HTM.
+//!
+//! Wallclock design (PR 4; *virtual* time — the `charge` sequence — is
+//! untouched): each thread keeps one reusable [`Scratch`] descriptor
+//! holding the read/write sets and the commit-time lock-order/acquired
+//! buffers. A transaction borrows it at begin and returns it cleared (not
+//! freed) on drop, so steady-state attempts allocate nothing. Two 256-bit
+//! membership filters sit in front of the `reads.contains` and
+//! write-set-self-read scans; a filter miss proves absence (no false
+//! negatives), so the linear scans run only on probable hits and the
+//! outcome of every check — and with it the abort/commit decision and the
+//! virtual-time charge sequence — is exactly what the plain scans produce.
 
 use crate::orec;
 use crate::word::TxWord;
 use pto_sim::{charge, CostKind};
+use std::cell::Cell;
+use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 
 /// Why a transaction attempt failed — the RTM EAX status word, reified.
@@ -84,10 +97,67 @@ pub enum FenceMode {
     Keep,
 }
 
-struct WriteEntry<'e> {
-    word: &'e TxWord,
+/// A buffered write. The word is held as a raw pointer so the [`Scratch`]
+/// buffers carry no lifetime and can be recycled across transactions; the
+/// `PhantomData<&'e TxWord>` on [`Txn`] pins the words' borrow for as long
+/// as the entries are live.
+struct WriteEntry {
+    word: *const TxWord,
     val: u64,
     oidx: usize,
+}
+
+/// 256-bit membership filter: a one-word-hash Bloom filter with no false
+/// negatives, used purely to skip linear set scans that would miss.
+#[derive(Default)]
+struct Filter256([u64; 4]);
+
+impl Filter256 {
+    #[inline]
+    fn insert(&mut self, h: u8) {
+        self.0[(h >> 6) as usize] |= 1 << (h & 63);
+    }
+
+    #[inline]
+    fn maybe_contains(&self, h: u8) -> bool {
+        self.0[(h >> 6) as usize] & (1 << (h & 63)) != 0
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.0 = [0; 4];
+    }
+}
+
+/// Filter hash of an orec index (0..2^16, already Fibonacci-mixed by
+/// [`orec::orec_index`]): fold both bytes.
+#[inline]
+fn oidx_hash(oidx: usize) -> u8 {
+    (oidx ^ (oidx >> 8)) as u8
+}
+
+/// Filter hash of a word address (8-byte aligned, so the low 3 bits carry
+/// nothing).
+#[inline]
+fn word_hash(addr: usize) -> u8 {
+    ((addr >> 3) ^ (addr >> 11)) as u8
+}
+
+/// Per-thread reusable transaction buffers: cleared between attempts, never
+/// shrunk, so steady-state transactions are allocation-free. One per thread
+/// suffices because this HTM does not nest (`IN_TXN` in `exec.rs`).
+#[derive(Default)]
+struct Scratch {
+    reads: Vec<usize>,
+    writes: Vec<WriteEntry>,
+    lock_order: Vec<usize>,
+    acquired: Vec<(usize, u64)>,
+    read_filter: Filter256,
+    write_filter: Filter256,
+}
+
+thread_local! {
+    static SCRATCH: Cell<Option<Box<Scratch>>> = const { Cell::new(None) };
 }
 
 /// A running transaction. Created by [`crate::transaction`]; data-structure
@@ -97,20 +167,44 @@ pub struct Txn<'e> {
     fence_mode: FenceMode,
     read_cap: usize,
     write_cap: usize,
-    reads: Vec<usize>,
-    writes: Vec<WriteEntry<'e>>,
+    /// `Some` from `new` until `drop` (an `Option` only so `Drop` can move
+    /// the box back to the thread-local slot).
+    scratch: Option<Box<Scratch>>,
+    /// Keeps every word stored in `scratch.writes` borrowed for the
+    /// transaction's lifetime; see [`WriteEntry`].
+    _words: PhantomData<&'e TxWord>,
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if let Some(mut s) = self.scratch.take() {
+            s.reads.clear();
+            s.writes.clear();
+            s.lock_order.clear();
+            s.acquired.clear();
+            s.read_filter.clear();
+            s.write_filter.clear();
+            SCRATCH.with(|c| c.set(Some(s)));
+        }
+    }
 }
 
 impl<'e> Txn<'e> {
     pub(crate) fn new(rv: u64, fence_mode: FenceMode, read_cap: usize, write_cap: usize) -> Self {
+        let scratch = SCRATCH.with(|c| c.take()).unwrap_or_default();
         Txn {
             rv,
             fence_mode,
             read_cap,
             write_cap,
-            reads: Vec::with_capacity(16),
-            writes: Vec::with_capacity(8),
+            scratch: Some(scratch),
+            _words: PhantomData,
         }
+    }
+
+    #[inline]
+    fn s(&mut self) -> &mut Scratch {
+        self.scratch.as_mut().expect("scratch present until drop")
     }
 
     /// The fence mode this transaction runs under.
@@ -122,14 +216,26 @@ impl<'e> Txn<'e> {
     /// consistent snapshot, or aborts with `Conflict`/`Capacity`.
     pub fn read(&mut self, word: &'e TxWord) -> TxResult<u64> {
         charge(CostKind::TxLoad);
-        // Read-own-write.
-        if let Some(e) = self.writes.iter().rev().find(|e| std::ptr::eq(e.word, word)) {
-            return Ok(e.val);
+        let rv = self.rv;
+        let read_cap = self.read_cap;
+        let s = self.s();
+        // Read-own-write; the filter miss proves this word was never
+        // written, skipping the scan entirely on the common path.
+        let wh = word_hash(word.addr());
+        if s.write_filter.maybe_contains(wh) {
+            if let Some(e) = s
+                .writes
+                .iter()
+                .rev()
+                .find(|e| std::ptr::eq(e.word, word))
+            {
+                return Ok(e.val);
+            }
         }
         let oidx = orec::orec_index(word.addr());
         let o = orec::orec_at(oidx);
         let v1 = o.load(Ordering::Acquire);
-        if orec::is_locked(v1) || orec::version_of(v1) > self.rv {
+        if orec::is_locked(v1) || orec::version_of(v1) > rv {
             return Err(Abort {
                 cause: AbortCause::Conflict,
             });
@@ -141,13 +247,15 @@ impl<'e> Txn<'e> {
                 cause: AbortCause::Conflict,
             });
         }
-        if !self.reads.contains(&oidx) {
-            if self.reads.len() >= self.read_cap {
+        let rh = oidx_hash(oidx);
+        if !s.read_filter.maybe_contains(rh) || !s.reads.contains(&oidx) {
+            if s.reads.len() >= read_cap {
                 return Err(Abort {
                     cause: AbortCause::Capacity,
                 });
             }
-            self.reads.push(oidx);
+            s.reads.push(oidx);
+            s.read_filter.insert(rh);
         }
         Ok(val)
     }
@@ -156,17 +264,23 @@ impl<'e> Txn<'e> {
     /// threads until then.
     pub fn write(&mut self, word: &'e TxWord, val: u64) -> TxResult<()> {
         charge(CostKind::TxStore);
-        if let Some(e) = self.writes.iter_mut().find(|e| std::ptr::eq(e.word, word)) {
-            e.val = val;
-            return Ok(());
+        let write_cap = self.write_cap;
+        let s = self.s();
+        let wh = word_hash(word.addr());
+        if s.write_filter.maybe_contains(wh) {
+            if let Some(e) = s.writes.iter_mut().find(|e| std::ptr::eq(e.word, word)) {
+                e.val = val;
+                return Ok(());
+            }
         }
-        if self.writes.len() >= self.write_cap {
+        if s.writes.len() >= write_cap {
             return Err(Abort {
                 cause: AbortCause::Capacity,
             });
         }
         let oidx = orec::orec_index(word.addr());
-        self.writes.push(WriteEntry { word, val, oidx });
+        s.writes.push(WriteEntry { word, val, oidx });
+        s.write_filter.insert(wh);
         Ok(())
     }
 
@@ -203,12 +317,12 @@ impl<'e> Txn<'e> {
 
     /// Number of distinct orecs read so far (diagnostics).
     pub fn read_set_len(&self) -> usize {
-        self.reads.len()
+        self.scratch.as_ref().map_or(0, |s| s.reads.len())
     }
 
     /// Number of buffered writes so far (diagnostics).
     pub fn write_set_len(&self) -> usize {
-        self.writes.len()
+        self.scratch.as_ref().map_or(0, |s| s.writes.len())
     }
 
     /// Attempt to commit. On success the buffered writes become visible
@@ -216,23 +330,35 @@ impl<'e> Txn<'e> {
     /// version `wv` for update transactions, `rv` for read-only ones
     /// (which serialize at their begin time). On failure nothing is
     /// visible and the cause is returned.
-    pub(crate) fn commit(self) -> Result<u64, AbortCause> {
-        if self.writes.is_empty() {
+    pub(crate) fn commit(&mut self) -> Result<u64, AbortCause> {
+        let rv = self.rv;
+        // Split-borrow the scratch so the loops below can read one buffer
+        // while filling another.
+        let Scratch {
+            reads,
+            writes,
+            lock_order,
+            acquired,
+            ..
+        } = &mut **self.scratch.as_mut().expect("scratch present until drop");
+        if writes.is_empty() {
             // Read-only fast path: every read already validated against rv,
             // so the transaction serializes at its begin time.
             charge(CostKind::TxEnd);
-            return Ok(self.rv);
+            return Ok(rv);
         }
 
         // Lock the write orecs in sorted order. Sorted order means two
         // overlapping committers resolve to a winner at their first shared
-        // orec instead of deadlocking or mutually aborting.
-        let mut lock_order: Vec<usize> = self.writes.iter().map(|e| e.oidx).collect();
+        // orec instead of deadlocking or mutually aborting. The buffers are
+        // recycled scratch: cleared here, not reallocated.
+        lock_order.clear();
+        lock_order.extend(writes.iter().map(|e| e.oidx));
         lock_order.sort_unstable();
         lock_order.dedup();
 
-        let mut acquired: Vec<(usize, u64)> = Vec::with_capacity(lock_order.len());
-        for &oidx in &lock_order {
+        acquired.clear();
+        for &oidx in lock_order.iter() {
             let o = orec::orec_at(oidx);
             let cur = o.load(Ordering::Acquire);
             if orec::is_locked(cur)
@@ -244,7 +370,7 @@ impl<'e> Txn<'e> {
                 )
                 .is_err()
             {
-                Self::release(&acquired);
+                Self::release(acquired);
                 return Err(AbortCause::Conflict);
             }
             acquired.push((oidx, cur));
@@ -254,21 +380,21 @@ impl<'e> Txn<'e> {
 
         // Validate the read set unless no other version was drawn since
         // begin (TL2's rv+1 == wv shortcut).
-        if wv != self.rv + 1 {
-            for &oidx in &self.reads {
+        if wv != rv + 1 {
+            for &oidx in reads.iter() {
                 match acquired.binary_search_by_key(&oidx, |&(i, _)| i) {
                     Ok(pos) => {
                         // Read-write overlap: the pre-lock version must
                         // still be within our snapshot.
-                        if orec::version_of(acquired[pos].1) > self.rv {
-                            Self::release(&acquired);
+                        if orec::version_of(acquired[pos].1) > rv {
+                            Self::release(acquired);
                             return Err(AbortCause::Conflict);
                         }
                     }
                     Err(_) => {
                         let v = orec::orec_at(oidx).load(Ordering::Acquire);
-                        if orec::is_locked(v) || orec::version_of(v) > self.rv {
-                            Self::release(&acquired);
+                        if orec::is_locked(v) || orec::version_of(v) > rv {
+                            Self::release(acquired);
                             return Err(AbortCause::Conflict);
                         }
                     }
@@ -278,11 +404,14 @@ impl<'e> Txn<'e> {
 
         // Publish: all values first, then all orec releases, so a seqlock
         // reader that sees any released orec sees every published value.
-        for e in &self.writes {
-            e.word.cell.store(e.val, Ordering::Release);
+        for e in writes.iter() {
+            // SAFETY: `e.word` was stored from a `&'e TxWord` in `write`,
+            // and `_words: PhantomData<&'e TxWord>` keeps that borrow alive
+            // for the whole transaction, so the pointer is valid here.
+            unsafe { (*e.word).cell.store(e.val, Ordering::Release) };
         }
         let newv = orec::make_version(wv);
-        for &(oidx, _) in &acquired {
+        for &(oidx, _) in acquired.iter() {
             orec::orec_at(oidx).store(newv, Ordering::Release);
         }
         charge(CostKind::TxEnd);

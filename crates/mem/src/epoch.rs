@@ -89,6 +89,14 @@ fn my_slot() -> usize {
     })
 }
 
+/// The calling thread's registry slot (0..[`MAX_THREADS`]), leased on
+/// first use and recycled on thread exit. The pools key their per-thread
+/// magazines off this: the `claimed` release/acquire handoff on lease
+/// recycle is what makes a slot's magazine single-owner at any instant.
+pub(crate) fn thread_slot() -> usize {
+    my_slot()
+}
+
 /// An RAII pin token. While any `Guard` is live on a thread, no slot
 /// retired after the pin can be recycled out from under it. Pins nest; only
 /// the outermost announcement touches shared memory.

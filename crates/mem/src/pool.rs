@@ -13,10 +13,25 @@
 //! bottleneck of §4.5; `retire`/`free_now` charge `PoolFree`. The pool's
 //! internal free list and limbo queue are simulation machinery and use
 //! plain atomics/locks that charge nothing.
+//!
+//! Wallclock design (PR 4; all *charges* above are unchanged): each pool
+//! keeps a per-thread [`PerThread`] record — a free-slot **magazine** and a
+//! **limbo stage** — keyed by the thread's epoch-registry slot. The common
+//! alloc/free pair moves a slot index in and out of the calling thread's
+//! magazine without touching the shared Treiber list; magazines refill
+//! from and flush to it in batches. `retire` stages `(epoch, slot)` pairs
+//! locally and flushes them to the shared limbo queue in batches (and
+//! always before draining), so the limbo mutex is taken once per batch
+//! instead of once per retirement. Reclamation counters still count each
+//! drained slot exactly once, and grace periods are judged by the epoch
+//! recorded at `retire` time, so staging only ever *delays* recycling —
+//! it never lets a slot recycle early.
 
 use crate::epoch;
+use pto_sim::pad::CachePadded;
 use pto_sim::sync::Mutex;
 use pto_sim::{charge, charge_n, CostKind};
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -44,6 +59,44 @@ fn locate(idx: u32) -> (usize, usize) {
 fn segment_capacity_through(seg: usize) -> usize {
     SEG0 * ((1 << (seg + 1)) - 1)
 }
+
+/// Per-thread magazine capacity; half is kept through a refill/flush so
+/// alternating alloc/free streaks do not ping-pong on the shared list.
+const MAG_CAP: usize = 32;
+const MAG_KEEP: usize = MAG_CAP / 2;
+/// Per-thread limbo stage capacity (retirements buffered between flushes).
+const STAGE_CAP: usize = 16;
+
+/// Per-thread pool state: a magazine of immediately reusable slots and a
+/// stage of retired `(epoch, slot)` pairs awaiting a batched limbo flush.
+struct PerThread {
+    mag: [u32; MAG_CAP],
+    mag_len: usize,
+    stage: [(u64, u32); STAGE_CAP],
+    stage_len: usize,
+}
+
+impl PerThread {
+    const fn new() -> Self {
+        PerThread {
+            mag: [NIL; MAG_CAP],
+            mag_len: 0,
+            stage: [(0, NIL); STAGE_CAP],
+            stage_len: 0,
+        }
+    }
+}
+
+/// One thread-slot's record, padded so neighbouring slots never share a
+/// cache line.
+struct PerThreadCell(CachePadded<UnsafeCell<PerThread>>);
+
+// SAFETY: `PerThreadCell` lives in an array indexed by
+// `epoch::thread_slot()`. A slot is leased to exactly one live thread at a
+// time, and lease recycling hands the slot over with a release store /
+// acquire CAS on the registry's `claimed` flag, so accesses to one cell
+// from successive owners are ordered and never concurrent.
+unsafe impl Sync for PerThreadCell {}
 
 /// A typed slot pool. `T: Default + Sync` — nodes are built from `TxWord`s
 /// and re-initialized in place on reuse.
@@ -73,8 +126,10 @@ pub struct Pool<T> {
     free_head: AtomicU64,
     /// Per-slot free-list links, grown alongside segments.
     links: [OnceLock<Box<[AtomicU32]>>; SEGMENTS],
-    /// Retired slots awaiting their grace period, FIFO by epoch.
+    /// Retired slots awaiting their grace period, FIFO by flush order.
     limbo: Mutex<VecDeque<(u64, u32)>>,
+    /// Per-thread magazines and limbo stages, indexed by epoch thread slot.
+    per_thread: Box<[PerThreadCell]>,
     /// Gauge of threads currently inside `alloc` (contention model).
     in_alloc: AtomicU64,
     /// Slots handed out minus slots in free list/limbo (diagnostics).
@@ -91,9 +146,24 @@ impl<T: Default> Pool<T> {
             free_head: AtomicU64::new(NIL as u64),
             links: std::array::from_fn(|_| OnceLock::new()),
             limbo: Mutex::new(VecDeque::new()),
+            per_thread: (0..epoch::MAX_THREADS)
+                .map(|_| PerThreadCell(CachePadded::new(UnsafeCell::new(PerThread::new()))))
+                .collect(),
             in_alloc: AtomicU64::new(0),
             live: AtomicU64::new(0),
         }
+    }
+
+    /// The calling thread's magazine/stage record.
+    ///
+    /// SAFETY (of the returned `&mut`): the epoch registry leases each
+    /// slot index to exactly one live thread (see [`PerThreadCell`]), this
+    /// method is only called from that thread, and nothing in the pool
+    /// re-enters `my_per_thread` while the borrow is held.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    fn my_per_thread(&self) -> &mut PerThread {
+        unsafe { &mut *self.per_thread[epoch::thread_slot()].0.get() }
     }
 
     fn ensure_segment(&self, seg: usize) {
@@ -166,9 +236,25 @@ impl<T: Default> Pool<T> {
         }
     }
 
+    /// Flush this thread's staged retirements into the shared limbo queue
+    /// (one lock acquisition per batch).
+    fn flush_stage(&self, pt: &mut PerThread) {
+        if pt.stage_len == 0 {
+            return;
+        }
+        let mut limbo = self.limbo.lock();
+        for &(e, idx) in &pt.stage[..pt.stage_len] {
+            limbo.push_back((e, idx));
+        }
+        pt.stage_len = 0;
+    }
+
     /// Move limbo entries whose grace period has passed onto the free list.
-    fn drain_limbo(&self) {
+    /// The caller's own stage is flushed first so its retirements are
+    /// visible to the drain (and to this thread's subsequent allocations).
+    fn drain_limbo(&self, pt: &mut PerThread) {
         epoch::try_advance();
+        self.flush_stage(pt);
         let mut ready: Vec<u32> = Vec::new();
         {
             let mut limbo = self.limbo.lock();
@@ -197,18 +283,26 @@ impl<T: Default> Pool<T> {
         let others = self.in_alloc.fetch_add(1, Ordering::AcqRel);
         charge(CostKind::PoolAlloc);
         charge_n(CostKind::AllocContend, others);
-        let idx = self.alloc_inner();
+        let pt = self.my_per_thread();
+        let idx = if pt.mag_len > 0 {
+            // Magazine hit: no shared-memory traffic beyond the gauges.
+            pt.mag_len -= 1;
+            pt.mag[pt.mag_len]
+        } else {
+            self.alloc_slow(pt)
+        };
         self.in_alloc.fetch_sub(1, Ordering::AcqRel);
         self.live.fetch_add(1, Ordering::Relaxed);
         idx
     }
 
-    fn alloc_inner(&self) -> u32 {
-        if let Some(idx) = self.pop_free() {
+    #[cold]
+    fn alloc_slow(&self, pt: &mut PerThread) -> u32 {
+        if let Some(idx) = self.refill(pt) {
             return idx;
         }
-        self.drain_limbo();
-        if let Some(idx) = self.pop_free() {
+        self.drain_limbo(pt);
+        if let Some(idx) = self.refill(pt) {
             return idx;
         }
         let idx = self.bump.fetch_add(1, Ordering::AcqRel);
@@ -219,13 +313,52 @@ impl<T: Default> Pool<T> {
         idx
     }
 
+    /// Pop one slot for the caller and refill the magazine to half from
+    /// the shared free list (batching the Treiber-list CAS traffic).
+    fn refill(&self, pt: &mut PerThread) -> Option<u32> {
+        let first = self.pop_free()?;
+        while pt.mag_len < MAG_KEEP {
+            match self.pop_free() {
+                Some(idx) => {
+                    pt.mag[pt.mag_len] = idx;
+                    pt.mag_len += 1;
+                }
+                None => break,
+            }
+        }
+        Some(first)
+    }
+
+    /// Put a slot into the calling thread's magazine, flushing half to the
+    /// shared free list when full.
+    fn stash(&self, idx: u32) {
+        let pt = self.my_per_thread();
+        if pt.mag_len == MAG_CAP {
+            while pt.mag_len > MAG_KEEP {
+                pt.mag_len -= 1;
+                self.push_free(pt.mag[pt.mag_len]);
+            }
+        }
+        pt.mag[pt.mag_len] = idx;
+        pt.mag_len += 1;
+    }
+
     /// Retire a slot that may still be reachable by concurrent readers: it
     /// recycles only after the epoch grace period. Charges `PoolFree`.
+    ///
+    /// The `(epoch, slot)` pair is staged thread-locally and flushed to
+    /// the shared limbo queue in batches; the recorded epoch is read
+    /// *here*, so staging delays but never shortens the grace period.
     pub fn retire(&self, idx: u32) {
         debug_assert_ne!(idx, NIL);
         charge(CostKind::PoolFree);
         self.live.fetch_sub(1, Ordering::Relaxed);
-        self.limbo.lock().push_back((epoch::current(), idx));
+        let pt = self.my_per_thread();
+        if pt.stage_len == STAGE_CAP {
+            self.flush_stage(pt);
+        }
+        pt.stage[pt.stage_len] = (epoch::current(), idx);
+        pt.stage_len += 1;
     }
 
     /// Return a slot that was never published to shared memory (e.g. a
@@ -235,7 +368,7 @@ impl<T: Default> Pool<T> {
         debug_assert_ne!(idx, NIL);
         charge(CostKind::PoolFree);
         self.live.fetch_sub(1, Ordering::Relaxed);
-        self.push_free(idx);
+        self.stash(idx);
     }
 
     /// Uncharged immediate free: for reclamation *machinery* (e.g. the
@@ -244,7 +377,7 @@ impl<T: Default> Pool<T> {
     pub fn free_quiet(&self, idx: u32) {
         debug_assert_ne!(idx, NIL);
         self.live.fetch_sub(1, Ordering::Relaxed);
-        self.push_free(idx);
+        self.stash(idx);
     }
 
     /// Live-slot gauge (allocated minus retired/freed); diagnostics only.

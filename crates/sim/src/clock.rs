@@ -9,6 +9,16 @@
 //! Threads that are *not* attached to a gate (unit tests, examples run
 //! without the simulator) still accumulate cycles, which lets tests assert
 //! cost properties directly.
+//!
+//! `charge_cycles` is the single hottest wallclock path in the workspace
+//! (every modeled load/store/CAS funnels through it), so the armed fast
+//! path is a handful of thread-local `Cell` ops: add to the clock, compare
+//! against a precomputed sync threshold. The gate is cached as a raw
+//! pointer in a `Cell` (the owning `Arc` is parked in a `RefCell` beside
+//! it purely as a keep-alive), and the quantum-crossing slow path is
+//! outlined behind `#[cold]`. None of this changes *virtual* time: the
+//! threshold test is equivalent to the original `now - last_sync >=
+//! quantum` check, and gate synchronization never charges cycles.
 
 use crate::cost::{self, CostKind};
 use crate::sched::Gate;
@@ -17,18 +27,26 @@ use std::sync::Arc;
 
 struct ThreadCtx {
     clock: Cell<u64>,
-    last_sync: Cell<u64>,
+    /// Clock value at which the next gate sync fires: `last_sync +
+    /// quantum` while attached, `u64::MAX` while detached (so the fast
+    /// path is one branch either way).
+    next_sync: Cell<u64>,
     lane: Cell<usize>,
-    gate: RefCell<Option<Arc<Gate>>>,
+    /// Cached `&*gate_keep` — null while detached. Reading a `Cell<*const>`
+    /// is what makes the armed fast path borrow-flag-free.
+    gate: Cell<*const Gate>,
+    /// Keep-alive for the pointer above; only touched on attach/detach.
+    gate_keep: RefCell<Option<Arc<Gate>>>,
 }
 
 thread_local! {
     static CTX: ThreadCtx = const {
         ThreadCtx {
             clock: Cell::new(0),
-            last_sync: Cell::new(0),
+            next_sync: Cell::new(u64::MAX),
             lane: Cell::new(0),
-            gate: RefCell::new(None),
+            gate: Cell::new(std::ptr::null()),
+            gate_keep: RefCell::new(None),
         }
     };
 }
@@ -39,10 +57,11 @@ pub fn charge(kind: CostKind) {
     charge_cycles(cost::cycles(kind));
 }
 
-/// Charge `n` repetitions of one event.
+/// Charge `n` repetitions of one event. Saturates (like `charge_cycles`)
+/// instead of wrapping when `cycles × n` overflows.
 #[inline]
 pub fn charge_n(kind: CostKind, n: u64) {
-    charge_cycles(cost::cycles(kind) * n);
+    charge_cycles(cost::cycles(kind).saturating_mul(n));
 }
 
 /// Charge a raw cycle amount to the current thread's clock, synchronizing
@@ -56,14 +75,29 @@ pub fn charge_cycles(c: u64) {
     CTX.with(|ctx| {
         let now = ctx.clock.get().saturating_add(c);
         ctx.clock.set(now);
-        let gate = ctx.gate.borrow();
-        if let Some(g) = gate.as_ref() {
-            if now.wrapping_sub(ctx.last_sync.get()) >= g.quantum() {
-                ctx.last_sync.set(now);
-                g.sync(ctx.lane.get(), now);
-            }
+        if now >= ctx.next_sync.get() {
+            gate_cross(ctx, now);
         }
     });
+}
+
+/// Quantum-crossing slow path: publish the clock and (maybe) block for
+/// stragglers. Cold and never inlined so the fast path stays tiny.
+#[cold]
+#[inline(never)]
+fn gate_cross(ctx: &ThreadCtx, now: u64) {
+    let g = ctx.gate.get();
+    if g.is_null() {
+        // Detached: `next_sync` is u64::MAX, reachable only when the
+        // clock itself saturated. Nothing to sync with.
+        return;
+    }
+    // SAFETY: `g` points at the `Gate` owned by `gate_keep`, which is only
+    // cleared (and the pointer nulled first) in `detach`; the Arc outlives
+    // every dereference here.
+    let gate = unsafe { &*g };
+    ctx.next_sync.set(now.saturating_add(gate.quantum()));
+    gate.sync(ctx.lane.get(), now);
 }
 
 /// The current thread's virtual clock, in cycles.
@@ -75,7 +109,13 @@ pub fn now() -> u64 {
 /// The gate lane the current thread is attached to, or `None` outside a
 /// simulation (used by the tracer to label tracks).
 pub fn current_lane() -> Option<usize> {
-    CTX.with(|ctx| ctx.gate.borrow().as_ref().map(|_| ctx.lane.get()))
+    CTX.with(|ctx| {
+        if ctx.gate.get().is_null() {
+            None
+        } else {
+            Some(ctx.lane.get())
+        }
+    })
 }
 
 /// Reset the current thread's clock to zero (unit-test helper; also called
@@ -83,7 +123,13 @@ pub fn current_lane() -> Option<usize> {
 pub fn reset() {
     CTX.with(|ctx| {
         ctx.clock.set(0);
-        ctx.last_sync.set(0);
+        let g = ctx.gate.get();
+        ctx.next_sync.set(if g.is_null() {
+            u64::MAX
+        } else {
+            // SAFETY: see `gate_cross`.
+            unsafe { (*g).quantum() }
+        });
     });
 }
 
@@ -92,9 +138,10 @@ pub fn reset() {
 pub(crate) fn attach(gate: Arc<Gate>, lane: usize) {
     CTX.with(|ctx| {
         ctx.clock.set(0);
-        ctx.last_sync.set(0);
+        ctx.next_sync.set(gate.quantum());
         ctx.lane.set(lane);
-        *ctx.gate.borrow_mut() = Some(gate);
+        ctx.gate.set(Arc::as_ptr(&gate));
+        *ctx.gate_keep.borrow_mut() = Some(gate);
     });
 }
 
@@ -103,7 +150,9 @@ pub(crate) fn attach(gate: Arc<Gate>, lane: usize) {
 pub(crate) fn detach() -> u64 {
     CTX.with(|ctx| {
         let final_clock = ctx.clock.get();
-        if let Some(g) = ctx.gate.borrow_mut().take() {
+        ctx.gate.set(std::ptr::null());
+        ctx.next_sync.set(u64::MAX);
+        if let Some(g) = ctx.gate_keep.borrow_mut().take() {
             g.finish(ctx.lane.get(), final_clock);
         }
         final_clock
@@ -160,6 +209,24 @@ mod tests {
         reset();
         charge_cycles(u64::MAX - 5);
         charge_cycles(100);
+        assert_eq!(now(), u64::MAX);
+        reset();
+    }
+
+    #[test]
+    fn charge_n_saturates_instead_of_wrapping() {
+        // Regression: `cycles(kind) * n` used a plain multiply, so a large
+        // `n` wrapped the product and could *rewind* nothing but still
+        // charge a tiny amount; the contract is saturation, matching
+        // `charge_cycles`.
+        reset();
+        charge_n(CostKind::SharedLoad, u64::MAX);
+        assert_eq!(now(), u64::MAX);
+        reset();
+        // A follow-up charge after saturation stays saturated.
+        charge_n(CostKind::Cas, u64::MAX / 2);
+        charge_n(CostKind::Cas, u64::MAX / 2);
+        charge_n(CostKind::Cas, u64::MAX / 2);
         assert_eq!(now(), u64::MAX);
         reset();
     }

@@ -1,0 +1,231 @@
+//! Golden-makespan regression (PR 4 tentpole guard): the wallclock
+//! hot-path optimizations (clock fast path, gate waiter-count, reusable
+//! transaction descriptors, pool magazines) must leave **virtual-time
+//! results bit-identical**. These workloads are deterministic by
+//! construction, and their makespans and abort-cause counters were
+//! recorded on the pre-optimization tree (commit 67d054d); any divergence
+//! means an optimization leaked into the cost model.
+//!
+//! Determinism rules the workloads obey:
+//!
+//! * single lane (or multi-lane with lane-private state only) — no
+//!   cross-lane conflicts, so lane clocks are pure functions of the
+//!   per-lane op sequences;
+//! * fixed seeds, and only structures whose internals draw no per-thread
+//!   RNG (HarrisList, Mindicator, MsQueue — *not* skiplist tower heights
+//!   or mound leaf probes, which seed from a process-global counter);
+//! * no chaos injection, no transient aborts (the only aborts are
+//!   explicit/capacity, which are deterministic).
+//!
+//! If a future PR changes the cost table or driver op sequences on
+//! purpose, regenerate the goldens: run with `PTO_GOLDEN_PRINT=1` and
+//! paste the printed block.
+
+use pto_core::policy::{pto, PtoPolicy, PtoStats};
+use pto_core::traits::FifoQueue;
+use pto_core::{ConcurrentSet, Quiescence};
+use pto_htm::TxWord;
+use pto_list::{HarrisList, ListVariant};
+use pto_mindicator::{LockFreeMindicator, PtoMindicator};
+use pto_msqueue::MsQueue;
+use pto_sim::rng::XorShift64;
+use pto_sim::{CostKind, Sim};
+use std::sync::Mutex;
+
+/// Global HTM stats are process-wide; serialize so deltas attribute only
+/// our own transactions (this file is its own test binary).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// (makespan, begins, commits, conflict, capacity, explicit, nested, spurious)
+type Golden = (u64, u64, u64, u64, u64, u64, u64, u64);
+
+fn measure(body: impl FnOnce() -> u64) -> Golden {
+    let h0 = pto_htm::snapshot();
+    let makespan = body();
+    let d = pto_htm::snapshot().delta(&h0);
+    (
+        makespan,
+        d.begins,
+        d.commits,
+        d.aborts_conflict,
+        d.aborts_capacity,
+        d.aborts_explicit,
+        d.aborts_nested,
+        d.aborts_spurious,
+    )
+}
+
+fn check(name: &str, got: Golden, want: Golden) {
+    if std::env::var("PTO_GOLDEN_PRINT").is_ok() {
+        println!("const GOLDEN_{}: Golden = {:?};", name.to_uppercase(), got);
+        return;
+    }
+    assert_eq!(
+        got, want,
+        "{name}: virtual-time results diverged from the recorded golden \
+         (makespan, begins, commits, conflict, capacity, explicit, nested, spurious)"
+    );
+}
+
+/// The trace_overhead workload shape: 4 lanes, lane 0 runs private-word
+/// RMW transactions plus explicit-abort→fallback ops, lanes 1–3 run
+/// epoch pin/unpin loops. Exercises clock, gate, txn, and epoch paths.
+fn private_word_pto() -> u64 {
+    pto_sim::clock::reset();
+    let word = TxWord::new(0);
+    let out = Sim::new(4).run(|lane| {
+        if lane == 0 {
+            let policy = PtoPolicy::with_attempts(3);
+            let stats = PtoStats::new();
+            for _ in 0..300 {
+                pto(
+                    &policy,
+                    &stats,
+                    |tx| {
+                        let v = tx.read(&word)?;
+                        tx.write(&word, v + 1)?;
+                        Ok(())
+                    },
+                    || unreachable!("private word: the prefix cannot abort"),
+                );
+            }
+            for _ in 0..100 {
+                pto(&policy, &stats, |tx| Err::<(), _>(tx.abort(1)), || ());
+            }
+        } else {
+            for _ in 0..400 {
+                let _g = pto_mem::epoch::pin();
+                pto_sim::charge_n(CostKind::Work, 5);
+            }
+        }
+    });
+    out.makespan
+}
+
+/// 1-lane setbench-style loop (fixed seed) over a `ConcurrentSet`:
+/// exercises txn read/write sets, commit locking, pool alloc/retire, and
+/// the 1-lane gate path.
+fn set_workload(s: &impl ConcurrentSet, ops: u64, range: u64, seed: u64) -> u64 {
+    let mut prefill_rng = XorShift64::new(seed ^ 0xDEAD_BEEF);
+    let mut inserted = 0;
+    while inserted < range / 2 {
+        if s.insert(prefill_rng.below(range)) {
+            inserted += 1;
+        }
+    }
+    pto_sim::clock::reset();
+    let out = Sim::new(1).run(|_| {
+        let mut rng = XorShift64::new(seed.wrapping_add(1));
+        for _ in 0..ops {
+            let k = rng.below(range);
+            let roll = rng.below(100);
+            if roll < 34 {
+                std::hint::black_box(s.contains(k));
+            } else if rng.chance(1, 2) {
+                std::hint::black_box(s.insert(k));
+            } else {
+                std::hint::black_box(s.remove(k));
+            }
+        }
+    });
+    out.makespan
+}
+
+/// 1-lane mbench-style arrive/depart pairs on a `Quiescence` structure.
+fn mindicator_workload(m: &impl Quiescence, pairs: u64, range: u64, seed: u64) -> u64 {
+    pto_sim::clock::reset();
+    let out = Sim::new(1).run(|_| {
+        let mut rng = XorShift64::new(seed.wrapping_add(1));
+        for _ in 0..pairs {
+            m.arrive(rng.below(range));
+            m.depart();
+        }
+    });
+    out.makespan
+}
+
+/// 1-lane fifobench-style enqueue/dequeue on the MS-queue.
+fn queue_workload(q: &MsQueue, ops: u64, seed: u64) -> u64 {
+    for i in 0..64 {
+        q.enqueue(i);
+    }
+    pto_sim::clock::reset();
+    let out = Sim::new(1).run(|_| {
+        let mut rng = XorShift64::new(seed.wrapping_add(1));
+        for i in 0..ops {
+            if rng.chance(1, 2) {
+                q.enqueue(i);
+            } else {
+                std::hint::black_box(q.dequeue());
+            }
+        }
+    });
+    out.makespan
+}
+
+const GOLDEN_PRIVATE_WORD_PTO: Golden = (24800, 400, 300, 0, 0, 100, 0, 0);
+const GOLDEN_LIST_PTO_WHOLE: Golden = (255681, 353, 353, 0, 0, 0, 0, 0);
+const GOLDEN_LIST_PTO_UPDATE: Golden = (257578, 201, 201, 0, 0, 0, 0, 0);
+const GOLDEN_LIST_LOCKFREE: Golden = (289788, 0, 0, 0, 0, 0, 0, 0);
+const GOLDEN_MINDICATOR_PTO: Golden = (132800, 800, 800, 0, 0, 0, 0, 0);
+const GOLDEN_MINDICATOR_LOCKFREE: Golden = (371200, 0, 0, 0, 0, 0, 0, 0);
+const GOLDEN_MSQUEUE_PTO: Golden = (67750, 564, 564, 0, 0, 0, 0, 0);
+
+#[test]
+fn golden_private_word_pto_4lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(private_word_pto);
+    check("private_word_pto", got, GOLDEN_PRIVATE_WORD_PTO);
+    // Also: re-running must reproduce itself exactly (determinism check
+    // independent of the recorded constants).
+    let again = measure(private_word_pto);
+    assert_eq!(got, again, "private-word workload is not deterministic");
+}
+
+#[test]
+fn golden_list_variants_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(|| {
+        let l = HarrisList::new(ListVariant::PtoWhole);
+        set_workload(&l, 400, 128, 42)
+    });
+    check("list_pto_whole", got, GOLDEN_LIST_PTO_WHOLE);
+
+    let got = measure(|| {
+        let l = HarrisList::new(ListVariant::PtoUpdate);
+        set_workload(&l, 400, 128, 42)
+    });
+    check("list_pto_update", got, GOLDEN_LIST_PTO_UPDATE);
+
+    let got = measure(|| {
+        let l = HarrisList::new(ListVariant::LockFree);
+        set_workload(&l, 400, 128, 42)
+    });
+    check("list_lockfree", got, GOLDEN_LIST_LOCKFREE);
+}
+
+#[test]
+fn golden_mindicator_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(|| {
+        let m = PtoMindicator::new(64);
+        mindicator_workload(&m, 400, 4096, 3)
+    });
+    check("mindicator_pto", got, GOLDEN_MINDICATOR_PTO);
+
+    let got = measure(|| {
+        let m = LockFreeMindicator::new(64);
+        mindicator_workload(&m, 400, 4096, 3)
+    });
+    check("mindicator_lockfree", got, GOLDEN_MINDICATOR_LOCKFREE);
+}
+
+#[test]
+fn golden_msqueue_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(|| {
+        let q = MsQueue::new_pto();
+        queue_workload(&q, 500, 7)
+    });
+    check("msqueue_pto", got, GOLDEN_MSQUEUE_PTO);
+}
