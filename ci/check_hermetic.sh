@@ -36,4 +36,15 @@ if bad:
     sys.exit(1)
 names = sorted(p["name"] for p in meta["packages"])
 print("ok: {} packages, all workspace-local: {}".format(len(names), ", ".join(names)))
+
+# The checking subsystem must itself stay hermetic: pto-check may depend
+# only on pto-*-namespaced workspace crates (a checker that pulls in an
+# external engine would undercut the "verify with what you ship" story).
+check = next(p for p in meta["packages"] if p["name"] == "pto-check")
+bad = sorted(d["name"] for d in check["dependencies"]
+             if not d["name"].startswith("pto-"))
+if bad:
+    print("pto-check has non-workspace dependencies: " + ", ".join(bad))
+    sys.exit(1)
+print("ok: pto-check depends only on pto-* crates")
 '

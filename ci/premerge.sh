@@ -17,3 +17,6 @@ cargo run -q --release -p pto-bench --bin trace_smoke
 
 echo "== perf smoke: wallclock hot paths + BENCH_sim.json structural check"
 cargo run -q --release -p pto-bench --bin perf_smoke -- --check
+
+echo "== lincheck smoke: linearizability sweep over the variant matrix"
+timeout 30 cargo run -q --release -p pto-bench --bin lincheck -- --smoke

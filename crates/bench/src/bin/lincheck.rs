@@ -1,0 +1,190 @@
+//! Linearizability sweep over the full variant matrix.
+//!
+//! Drives `pto-check`'s schedule explorer across every structure variant
+//! the paper measures — lock-free, PTO, and TLE for all five abstract
+//! types — and prints one results row per variant: schedules replayed,
+//! operations checked, queries excluded under the quiescent contract, and
+//! the verdict. Afterwards it runs the deliberately bug-seeded
+//! [`pto_check::broken::BrokenFifo`] and prints the minimized witness, so
+//! the output also demonstrates what a caught violation looks like.
+//!
+//! Run modes:
+//!
+//! * default — the full matrix at the acceptance workload (4 lanes,
+//!   64 ops/lane, 5+ schedules per variant);
+//! * `--smoke` — the premerge gate: every variant with a trimmed schedule
+//!   count, bounded well under 30 s in release builds.
+//!
+//! Exits non-zero if any variant fails to linearize, any check runs out
+//! of budget, or the broken queue is *not* caught.
+
+use pto_bst::{Bst, BstVariant};
+use pto_check::broken::BrokenFifo;
+use pto_check::explore::{
+    explore_fifo, explore_pq, explore_qui, explore_set, ExploreCfg, QueryMode,
+};
+use pto_check::ExploreReport;
+use pto_core::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
+use pto_hashtable::{FSetHashTable, HashVariant};
+use pto_list::{HarrisList, ListVariant};
+use pto_mindicator::{LockFreeMindicator, PtoMindicator, TleMindicator};
+use pto_mound::Mound;
+use pto_msqueue::MsQueue;
+use pto_skiplist::{SkipListSet, SkipQueue};
+
+type MakeQui<'a> = &'a dyn Fn() -> Box<dyn Quiescence>;
+type MakeFifo<'a> = &'a dyn Fn() -> Box<dyn FifoQueue>;
+type MakeSet<'a> = &'a dyn Fn() -> Box<dyn ConcurrentSet>;
+type MakePq<'a> = &'a dyn Fn() -> Box<dyn PriorityQueue>;
+
+struct Tally {
+    rows: Vec<(String, ExploreReport)>,
+    failed: bool,
+}
+
+impl Tally {
+    fn add(&mut self, name: &str, report: ExploreReport) {
+        let verdict = if let Some(v) = &report.violation {
+            self.failed = true;
+            format!("VIOLATION (schedule {})", v.schedule)
+        } else if report.exhausted > 0 {
+            self.failed = true;
+            format!("EXHAUSTED ({} histories)", report.exhausted)
+        } else {
+            "linearizable".to_string()
+        };
+        println!(
+            "  {name:<22} {:>9} {:>12} {:>10}   {verdict}",
+            report.schedules_run, report.ops_checked, report.filtered_queries,
+        );
+        if let Some(v) = &report.violation {
+            println!("{}", v.witness.render());
+        }
+        self.rows.push((name.to_string(), report));
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let schedules = if smoke { 2 } else { 5 };
+    let cfg = ExploreCfg {
+        seed: 0x11CE_C4EC,
+        lanes: 4,
+        ops_per_lane: 64,
+        keyspace: 24,
+        schedules,
+        max_nodes: 10_000_000,
+    };
+    // Quiescent-mode checking excludes update-overlapped queries, so those
+    // variants replay 3x the schedules to keep the checked-op count
+    // comparable.
+    let qcfg = ExploreCfg {
+        schedules: 3 * schedules,
+        ..cfg.clone()
+    };
+
+    println!(
+        "lincheck: {} lanes x {} ops/lane, {} schedules/variant{}",
+        cfg.lanes,
+        cfg.ops_per_lane,
+        cfg.schedules,
+        if smoke { " (smoke)" } else { "" },
+    );
+    println!(
+        "  {:<22} {:>9} {:>12} {:>10}   verdict",
+        "variant", "schedules", "ops-checked", "q-excluded"
+    );
+    let mut t = Tally {
+        rows: Vec::new(),
+        failed: false,
+    };
+
+    // Mindicator (quiescence). Lock-free and PTO queries are quiescently
+    // consistent by design; TLE queries are exact.
+    let qui: [(&str, MakeQui, QueryMode); 4] = [
+        ("mindicator/lockfree", &|| Box::new(LockFreeMindicator::new(8)), QueryMode::Quiescent),
+        ("mindicator/pto", &|| Box::new(PtoMindicator::new(8)), QueryMode::Quiescent),
+        ("mindicator/tle", &|| Box::new(TleMindicator::new(8)), QueryMode::Exact),
+        ("qui/tle-generic", &|| Box::new(pto_check::tle::TleQui::new(8)), QueryMode::Exact),
+    ];
+    for (name, make, mode) in qui {
+        let c = if mode == QueryMode::Quiescent { &qcfg } else { &cfg };
+        t.add(name, explore_qui(c, make, mode));
+    }
+
+    // Michael–Scott queue (FIFO).
+    let fifo_prefill = [1 << 40, 2 << 40, 3 << 40];
+    let fifos: [(&str, MakeFifo); 3] = [
+        ("msqueue/lockfree", &|| Box::new(MsQueue::new_lockfree())),
+        ("msqueue/pto", &|| Box::new(MsQueue::new_pto())),
+        ("fifo/tle-generic", &|| Box::new(pto_check::tle::TleFifo::new(4096))),
+    ];
+    for (name, make) in fifos {
+        t.add(name, explore_fifo(&cfg, make, &fifo_prefill));
+    }
+
+    // Sets: Harris list, hash table, skiplist, BST.
+    let set_prefill = [1, 5, 9, 13, 17, 21];
+    let sets: [(&str, MakeSet); 9] = [
+        ("list/lockfree", &|| Box::new(HarrisList::new(ListVariant::LockFree))),
+        ("list/pto-whole", &|| Box::new(HarrisList::new(ListVariant::PtoWhole))),
+        ("list/pto-update", &|| Box::new(HarrisList::new(ListVariant::PtoUpdate))),
+        ("hashtable/lockfree", &|| Box::new(FSetHashTable::new(HashVariant::LockFree, 4))),
+        ("hashtable/pto", &|| Box::new(FSetHashTable::new(HashVariant::Pto, 4))),
+        ("skiplist/lockfree", &|| Box::new(SkipListSet::new_lockfree())),
+        ("skiplist/pto", &|| Box::new(SkipListSet::new_pto())),
+        ("bst/lockfree", &|| Box::new(Bst::new(BstVariant::LockFree))),
+        ("bst/pto1pto2", &|| Box::new(Bst::new(BstVariant::Pto1Pto2))),
+    ];
+    for (name, make) in sets {
+        t.add(name, explore_set(&cfg, make, &set_prefill));
+    }
+
+    // Priority queues: Mound and the Lotan–Shavit skiplist queue.
+    let pq_prefill = [3, 11, 19];
+    let pqs: [(&str, MakePq); 5] = [
+        ("mound/lockfree", &|| Box::new(Mound::new_lockfree(10))),
+        ("mound/pto", &|| Box::new(Mound::new_pto(10))),
+        ("skipqueue/lockfree", &|| Box::new(SkipQueue::new_lockfree())),
+        ("skipqueue/pto", &|| Box::new(SkipQueue::new_pto())),
+        ("pq/tle-generic", &|| Box::new(pto_check::tle::TlePq::new(24))),
+    ];
+    for (name, make) in pqs {
+        t.add(name, explore_pq(&cfg, make, &pq_prefill));
+    }
+
+    // The bug-seeded queue: must be caught, and its witness must shrink.
+    println!("\nwitness demo: BrokenFifo (commit-reorder fault)");
+    let report = explore_fifo(&cfg, &|| Box::new(BrokenFifo::new()), &[]);
+    match report.violation {
+        Some(v) => {
+            println!(
+                "  caught under schedule {}; minimized to {} ops:",
+                v.schedule,
+                v.minimized.ops()
+            );
+            for (lane, ops) in v.minimized.lanes.iter().enumerate() {
+                for o in ops {
+                    println!(
+                        "    lane {lane}: [{:>6}, {:>6}] {:?} -> {:?}",
+                        o.inv, o.res, o.op, o.ret
+                    );
+                }
+            }
+        }
+        None => {
+            println!("  ERROR: the seeded fault was not caught");
+            t.failed = true;
+        }
+    }
+
+    let checked: u64 = t.rows.iter().map(|(_, r)| r.ops_checked).sum();
+    println!(
+        "\n{} variants, {} ops checked total",
+        t.rows.len(),
+        checked
+    );
+    if t.failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! A deliberately broken FIFO variant: end-to-end proof the checker
+//! actually catches bugs.
+//!
+//! [`BrokenFifo`] wraps the real lock-free Michael–Scott queue but
+//! *reorders commits*: each lane's first pending enqueue is held back and
+//! published after the lane's next one, so pairs of enqueues from one
+//! lane hit the queue in reverse program order. Every individual queue
+//! operation is still atomic and correct — the bug lives purely in the
+//! ordering between operations, exactly the class of defect a
+//! linearizability checker exists to find and that per-op assertions
+//! (return values, structural invariants) cannot.
+//!
+//! The canonical minimized witness is three operations:
+//! `enqueue(a)`, `enqueue(b)` on one lane; `dequeue -> b` on another,
+//! while `a` was at the head.
+
+use pto_core::FifoQueue;
+use pto_msqueue::MsQueue;
+use pto_sim::clock::current_lane;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pending-slot sentinel: no value parked (enqueue values must be below
+/// this; keep them under 2^63, as every workload here does).
+const EMPTY: u64 = u64::MAX;
+
+/// Maximum lanes the pending array covers.
+const MAX_LANES: usize = 64;
+
+pub struct BrokenFifo {
+    inner: MsQueue,
+    pending: Vec<AtomicU64>,
+}
+
+impl Default for BrokenFifo {
+    fn default() -> Self {
+        BrokenFifo::new()
+    }
+}
+
+impl BrokenFifo {
+    pub fn new() -> Self {
+        BrokenFifo {
+            inner: MsQueue::new_lockfree(),
+            pending: (0..MAX_LANES).map(|_| AtomicU64::new(EMPTY)).collect(),
+        }
+    }
+
+    fn my_pending(&self) -> &AtomicU64 {
+        &self.pending[current_lane().unwrap_or(0).min(MAX_LANES - 1)]
+    }
+}
+
+impl FifoQueue for BrokenFifo {
+    fn enqueue(&self, value: u64) {
+        assert!(value < EMPTY, "BrokenFifo reserves u64::MAX");
+        let slot = self.my_pending();
+        let parked = slot.swap(value, Ordering::Relaxed);
+        if parked != EMPTY {
+            // Second of a pair: publish in REVERSE program order.
+            slot.store(EMPTY, Ordering::Relaxed);
+            self.inner.enqueue(value);
+            self.inner.enqueue(parked);
+        }
+        // First of a pair: parked, published by the pair's second enqueue.
+        // (Workloads enqueue an even count per lane so nothing is lost.)
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        self.inner.dequeue()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_published_reversed() {
+        let q = BrokenFifo::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn first_of_a_pair_is_invisible_until_the_second() {
+        let q = BrokenFifo::new();
+        q.enqueue(7);
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(8);
+        assert_eq!(q.dequeue(), Some(8));
+        assert_eq!(q.dequeue(), Some(7));
+    }
+}

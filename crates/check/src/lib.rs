@@ -1,0 +1,47 @@
+//! # pto-check — linearizability checking for the PTO structures
+//!
+//! The workspace's differential oracles compare structure variants
+//! against each other op-by-op, which catches wrong *return values* but
+//! not wrong *orderings* between concurrent operations. This crate closes
+//! that gap: it records complete operation histories (invocation and
+//! response stamped with the simulator's virtual clocks, via
+//! [`pto_sim::history`]), decides linearizability with a Wing–Gong
+//! checker, and drives the same seeded workload through many schedules to
+//! hunt for orderings that violate the sequential specification.
+//!
+//! * [`spec`] — sequential specifications ([`SeqSpec`]) for the four
+//!   abstract types the paper's structures implement: set, FIFO queue,
+//!   min-priority queue, quiescence.
+//! * [`wgl`] — the checker: Wing–Gong frontier search with Lowe-style
+//!   memoization, interval pruning on virtual-time precedence (sound by
+//!   the gate's clock-skew bound), P-compositionality for set histories,
+//!   and a ddmin witness minimizer with a value-source guard.
+//! * [`record`] — wrappers that record each trait operation into the
+//!   history machinery, plus the raw-history decoder.
+//! * [`tle`] — naive TLE baselines for every abstract type, so the
+//!   variant matrix has a TLE column beyond the Mindicator.
+//! * [`broken`] — a deliberately bug-seeded FIFO proving the pipeline
+//!   catches real ordering violations and shrinks them to readable
+//!   witnesses.
+//! * [`explore`] — the schedule-exploration driver: quantum sweeps,
+//!   PCT-style priority stalls, and deterministic abort injection via
+//!   [`pto_htm::arm_abort_injection`].
+//!
+//! Like every `pto-*` crate, this one is hermetic: it depends only on
+//! workspace crates.
+
+pub mod broken;
+pub mod explore;
+pub mod record;
+pub mod spec;
+pub mod tle;
+pub mod wgl;
+
+pub use explore::{
+    explore_fifo, explore_pq, explore_qui, explore_set, ExploreCfg, ExploreReport, QueryMode,
+};
+pub use record::{decode, RecordedFifo, RecordedPq, RecordedQui, RecordedSet};
+pub use spec::{FifoSpec, KeySpec, Op, PqSpec, QuiSpec, Ret, SeqSpec, SetSpec};
+pub use wgl::{
+    check, check_set_by_key, minimize, CheckOpts, HistOp, History, SpecKind, Verdict, Witness,
+};

@@ -1,0 +1,356 @@
+//! Sequential specifications the checker linearizes against.
+//!
+//! A [`SeqSpec`] is an executable model of one abstract object: a pure
+//! state machine whose [`apply`](SeqSpec::apply) both mutates the state
+//! and returns what a *sequential* execution of the operation would have
+//! returned. The checker searches for a total order of the recorded
+//! operations, consistent with real-time precedence, in which every
+//! operation's recorded return equals the spec's return.
+//!
+//! Specs here use ordered containers (`BTreeSet`/`BTreeMap`) so
+//! [`state_hash`](SeqSpec::state_hash) can fold the elements in a
+//! canonical order: two configurations with equal abstract state hash
+//! equal, which is what makes Lowe-style memoization of the search sound.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One abstract operation, with its argument where it takes one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    // -- ConcurrentSet --
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+    // -- FifoQueue --
+    Enqueue(u64),
+    Dequeue,
+    // -- PriorityQueue --
+    Push(u64),
+    PopMin,
+    PeekMin,
+    // -- Quiescence --
+    Arrive(u64),
+    Depart,
+    Query,
+}
+
+impl Op {
+    /// The set key this operation addresses, when it is a per-key set
+    /// operation (drives P-compositionality partitioning).
+    pub fn set_key(&self) -> Option<u64> {
+        match *self {
+            Op::Insert(k) | Op::Remove(k) | Op::Contains(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// An operation's return value, as recorded and as the specs produce it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ret {
+    /// `enqueue`, `push`, `arrive`, `depart`.
+    Unit,
+    /// `insert`, `remove`, `contains`.
+    Bool(bool),
+    /// `dequeue`, `pop_min`, `peek_min`.
+    Opt(Option<u64>),
+    /// `query` (with [`pto_core::IDLE`] meaning "no thread arrived").
+    Val(u64),
+}
+
+/// A sequential specification: deterministic state plus the return each
+/// operation produces when applied atomically.
+///
+/// `lane` is the index of the history thread applying the operation —
+/// only [`QuiSpec`] (whose state is per-thread) consults it.
+pub trait SeqSpec: Clone {
+    fn apply(&mut self, lane: usize, op: Op) -> Ret;
+
+    /// A canonical 64-bit digest of the abstract state: equal states must
+    /// hash equal (the checker memoizes on `(positions, state_hash)`).
+    /// Distinct states colliding is statistically negligible at 64 bits
+    /// and only costs the memo a false "already explored" entry.
+    fn state_hash(&self) -> u64;
+}
+
+/// FNV-1a over a word stream: tiny, dependency-free, and good enough for
+/// memoization digests.
+pub(crate) fn fnv_fold(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01B3);
+        }
+    }
+    h
+}
+
+/// The set-of-`u64`-keys spec ([`pto_core::ConcurrentSet`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SetSpec {
+    present: BTreeSet<u64>,
+}
+
+impl SetSpec {
+    pub fn with_prefill(keys: impl IntoIterator<Item = u64>) -> Self {
+        SetSpec {
+            present: keys.into_iter().collect(),
+        }
+    }
+}
+
+impl SeqSpec for SetSpec {
+    fn apply(&mut self, _lane: usize, op: Op) -> Ret {
+        match op {
+            Op::Insert(k) => Ret::Bool(self.present.insert(k)),
+            Op::Remove(k) => Ret::Bool(self.present.remove(&k)),
+            Op::Contains(k) => Ret::Bool(self.present.contains(&k)),
+            other => panic!("SetSpec cannot apply {other:?}"),
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        fnv_fold(self.present.iter().copied())
+    }
+}
+
+/// A single-key boolean register: the per-key projection of [`SetSpec`]
+/// that P-compositionality checks independently.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeySpec {
+    present: bool,
+}
+
+impl KeySpec {
+    pub fn with_present(present: bool) -> Self {
+        KeySpec { present }
+    }
+}
+
+impl SeqSpec for KeySpec {
+    fn apply(&mut self, _lane: usize, op: Op) -> Ret {
+        match op {
+            Op::Insert(_) => Ret::Bool(!std::mem::replace(&mut self.present, true)),
+            Op::Remove(_) => Ret::Bool(std::mem::replace(&mut self.present, false)),
+            Op::Contains(_) => Ret::Bool(self.present),
+            other => panic!("KeySpec cannot apply {other:?}"),
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        self.present as u64
+    }
+}
+
+/// The FIFO queue spec ([`pto_core::FifoQueue`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FifoSpec {
+    items: VecDeque<u64>,
+}
+
+impl FifoSpec {
+    pub fn with_prefill(values: impl IntoIterator<Item = u64>) -> Self {
+        FifoSpec {
+            items: values.into_iter().collect(),
+        }
+    }
+}
+
+impl SeqSpec for FifoSpec {
+    fn apply(&mut self, _lane: usize, op: Op) -> Ret {
+        match op {
+            Op::Enqueue(v) => {
+                self.items.push_back(v);
+                Ret::Unit
+            }
+            Op::Dequeue => Ret::Opt(self.items.pop_front()),
+            other => panic!("FifoSpec cannot apply {other:?}"),
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        fnv_fold(self.items.iter().copied())
+    }
+}
+
+/// The min-priority-queue spec ([`pto_core::PriorityQueue`]); a multiset,
+/// since the structures admit duplicate keys.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PqSpec {
+    counts: BTreeMap<u64, u32>,
+}
+
+impl PqSpec {
+    pub fn with_prefill(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = PqSpec::default();
+        for v in values {
+            *s.counts.entry(v).or_insert(0) += 1;
+        }
+        s
+    }
+
+    fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+}
+
+impl SeqSpec for PqSpec {
+    fn apply(&mut self, _lane: usize, op: Op) -> Ret {
+        match op {
+            Op::Push(v) => {
+                *self.counts.entry(v).or_insert(0) += 1;
+                Ret::Unit
+            }
+            Op::PopMin => {
+                let m = self.min();
+                if let Some(k) = m {
+                    let c = self.counts.get_mut(&k).unwrap();
+                    *c -= 1;
+                    if *c == 0 {
+                        self.counts.remove(&k);
+                    }
+                }
+                Ret::Opt(m)
+            }
+            Op::PeekMin => Ret::Opt(self.min()),
+            other => panic!("PqSpec cannot apply {other:?}"),
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        fnv_fold(
+            self.counts
+                .iter()
+                .flat_map(|(&k, &c)| [k, c as u64]),
+        )
+    }
+}
+
+/// The quiescence spec ([`pto_core::Quiescence`]): each lane holds at most
+/// one announced value; `query` is the minimum over announced values, or
+/// [`pto_core::IDLE`] when none.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuiSpec {
+    slots: Vec<Option<u64>>,
+}
+
+impl QuiSpec {
+    pub fn new(lanes: usize) -> Self {
+        QuiSpec {
+            slots: vec![None; lanes],
+        }
+    }
+}
+
+impl SeqSpec for QuiSpec {
+    fn apply(&mut self, lane: usize, op: Op) -> Ret {
+        match op {
+            Op::Arrive(v) => {
+                self.slots[lane] = Some(v);
+                Ret::Unit
+            }
+            Op::Depart => {
+                self.slots[lane] = None;
+                Ret::Unit
+            }
+            Op::Query => Ret::Val(
+                self.slots
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .min()
+                    .unwrap_or(pto_core::IDLE),
+            ),
+            other => panic!("QuiSpec cannot apply {other:?}"),
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        fnv_fold(
+            self.slots
+                .iter()
+                .map(|s| s.map_or(u64::MAX, |v| v.wrapping_add(1))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_spec_tracks_membership() {
+        let mut s = SetSpec::default();
+        assert_eq!(s.apply(0, Op::Insert(3)), Ret::Bool(true));
+        assert_eq!(s.apply(0, Op::Insert(3)), Ret::Bool(false));
+        assert_eq!(s.apply(1, Op::Contains(3)), Ret::Bool(true));
+        assert_eq!(s.apply(1, Op::Remove(3)), Ret::Bool(true));
+        assert_eq!(s.apply(0, Op::Remove(3)), Ret::Bool(false));
+    }
+
+    #[test]
+    fn key_spec_matches_set_spec_on_one_key() {
+        let mut set = SetSpec::default();
+        let mut key = KeySpec::default();
+        for op in [
+            Op::Contains(9),
+            Op::Insert(9),
+            Op::Insert(9),
+            Op::Remove(9),
+            Op::Contains(9),
+        ] {
+            assert_eq!(set.apply(0, op), key.apply(0, op));
+        }
+    }
+
+    #[test]
+    fn fifo_spec_is_first_in_first_out() {
+        let mut q = FifoSpec::default();
+        q.apply(0, Op::Enqueue(1));
+        q.apply(1, Op::Enqueue(2));
+        assert_eq!(q.apply(0, Op::Dequeue), Ret::Opt(Some(1)));
+        assert_eq!(q.apply(1, Op::Dequeue), Ret::Opt(Some(2)));
+        assert_eq!(q.apply(0, Op::Dequeue), Ret::Opt(None));
+    }
+
+    #[test]
+    fn pq_spec_pops_duplicates_in_min_order() {
+        let mut pq = PqSpec::default();
+        for v in [5, 3, 5, 7] {
+            pq.apply(0, Op::Push(v));
+        }
+        assert_eq!(pq.apply(0, Op::PeekMin), Ret::Opt(Some(3)));
+        assert_eq!(pq.apply(0, Op::PopMin), Ret::Opt(Some(3)));
+        assert_eq!(pq.apply(0, Op::PopMin), Ret::Opt(Some(5)));
+        assert_eq!(pq.apply(0, Op::PopMin), Ret::Opt(Some(5)));
+        assert_eq!(pq.apply(0, Op::PopMin), Ret::Opt(Some(7)));
+        assert_eq!(pq.apply(0, Op::PopMin), Ret::Opt(None));
+    }
+
+    #[test]
+    fn qui_spec_tracks_per_lane_minimum() {
+        let mut m = QuiSpec::new(3);
+        assert_eq!(m.apply(0, Op::Query), Ret::Val(pto_core::IDLE));
+        m.apply(0, Op::Arrive(10));
+        m.apply(2, Op::Arrive(4));
+        assert_eq!(m.apply(1, Op::Query), Ret::Val(4));
+        m.apply(2, Op::Depart);
+        assert_eq!(m.apply(1, Op::Query), Ret::Val(10));
+    }
+
+    #[test]
+    fn state_hash_is_canonical_not_path_dependent() {
+        let mut a = SetSpec::default();
+        a.apply(0, Op::Insert(1));
+        a.apply(0, Op::Insert(2));
+        let mut b = SetSpec::default();
+        b.apply(0, Op::Insert(2));
+        b.apply(0, Op::Insert(1));
+        b.apply(0, Op::Insert(7));
+        b.apply(0, Op::Remove(7));
+        assert_eq!(a.state_hash(), b.state_hash());
+        // And it distinguishes genuinely different states.
+        assert_ne!(SetSpec::default().state_hash(), a.state_hash());
+    }
+}

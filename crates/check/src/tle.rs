@@ -1,0 +1,303 @@
+//! Generic TLE baselines for the checker's variant matrix.
+//!
+//! The paper's Figure 2(a) TLE baseline exists in-tree only for the
+//! Mindicator; the lincheck matrix wants a TLE column for *every*
+//! abstract type. These are deliberately naive sequential structures —
+//! flat `TxWord` arrays run under one [`Tle`] lock — so the interesting
+//! concurrency all comes from the elision machinery (speculation, lock
+//! subscription, lock fallback), which is exactly the layer the checker
+//! should be exercising. They are checking baselines, not benchmark
+//! contenders.
+
+use pto_core::tle::Tle;
+use pto_core::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
+use pto_htm::TxWord;
+use pto_sim::clock::current_lane;
+
+/// Speculation attempts before the TLE lock path (the Mindicator baseline
+/// uses the same order of magnitude).
+const TLE_ATTEMPTS: u32 = 3;
+
+/// A set over a bounded key space `0..keyspace`: one presence word per
+/// key, read/written under the elidable lock.
+pub struct TleSet {
+    tle: Tle,
+    present: Vec<TxWord>,
+}
+
+impl TleSet {
+    pub fn new(keyspace: u64) -> Self {
+        TleSet {
+            tle: Tle::new(TLE_ATTEMPTS),
+            present: (0..keyspace).map(|_| TxWord::new(0)).collect(),
+        }
+    }
+
+    fn word(&self, key: u64) -> &TxWord {
+        &self.present[usize::try_from(key).expect("key fits usize")]
+    }
+}
+
+impl ConcurrentSet for TleSet {
+    fn insert(&self, key: u64) -> bool {
+        let w = self.word(key);
+        self.tle.execute(|ctx| {
+            let old = ctx.read(w)?;
+            ctx.write(w, 1)?;
+            Ok(old == 0)
+        })
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let w = self.word(key);
+        self.tle.execute(|ctx| {
+            let old = ctx.read(w)?;
+            ctx.write(w, 0)?;
+            Ok(old != 0)
+        })
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let w = self.word(key);
+        self.tle.execute(|ctx| Ok(ctx.read(w)? != 0))
+    }
+
+    fn len(&self) -> usize {
+        self.present.iter().filter(|w| w.peek() != 0).count()
+    }
+}
+
+/// A bounded FIFO ring under TLE. Capacity is a hard bound on
+/// `enqueues - dequeues` in flight; exceeding it panics (size the ring to
+/// the workload — a checking harness wants loud failure, not silent loss).
+pub struct TleFifo {
+    tle: Tle,
+    slots: Vec<TxWord>,
+    head: TxWord,
+    tail: TxWord,
+}
+
+impl TleFifo {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TleFifo {
+            tle: Tle::new(TLE_ATTEMPTS),
+            slots: (0..capacity).map(|_| TxWord::new(0)).collect(),
+            head: TxWord::new(0),
+            tail: TxWord::new(0),
+        }
+    }
+}
+
+impl FifoQueue for TleFifo {
+    fn enqueue(&self, value: u64) {
+        let cap = self.slots.len() as u64;
+        self.tle.execute(|ctx| {
+            let t = ctx.read(&self.tail)?;
+            let h = ctx.read(&self.head)?;
+            assert!(t - h < cap, "TleFifo over capacity; size the ring up");
+            ctx.write(&self.slots[(t % cap) as usize], value)?;
+            ctx.write(&self.tail, t + 1)?;
+            Ok(())
+        })
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        let cap = self.slots.len() as u64;
+        self.tle.execute(|ctx| {
+            let h = ctx.read(&self.head)?;
+            let t = ctx.read(&self.tail)?;
+            if h == t {
+                return Ok(None);
+            }
+            let v = ctx.read(&self.slots[(h % cap) as usize])?;
+            ctx.write(&self.head, h + 1)?;
+            Ok(Some(v))
+        })
+    }
+}
+
+/// A min-priority queue over a bounded key space: a count per key,
+/// `pop_min` scans for the first nonzero count. Scan cost is `keyspace`
+/// transactional reads — fine for checking workloads, hopeless as a
+/// benchmark, which is the point of a baseline.
+pub struct TlePq {
+    tle: Tle,
+    counts: Vec<TxWord>,
+}
+
+impl TlePq {
+    pub fn new(keyspace: u64) -> Self {
+        TlePq {
+            tle: Tle::new(TLE_ATTEMPTS),
+            counts: (0..keyspace).map(|_| TxWord::new(0)).collect(),
+        }
+    }
+}
+
+impl PriorityQueue for TlePq {
+    fn push(&self, key: u64) {
+        let w = &self.counts[usize::try_from(key).expect("key fits usize")];
+        self.tle.execute(|ctx| {
+            let c = ctx.read(w)?;
+            ctx.write(w, c + 1)?;
+            Ok(())
+        })
+    }
+
+    fn pop_min(&self) -> Option<u64> {
+        self.tle.execute(|ctx| {
+            for (k, w) in self.counts.iter().enumerate() {
+                let c = ctx.read(w)?;
+                if c > 0 {
+                    ctx.write(w, c - 1)?;
+                    return Ok(Some(k as u64));
+                }
+            }
+            Ok(None)
+        })
+    }
+
+    fn peek_min(&self) -> Option<u64> {
+        self.tle.execute(|ctx| {
+            for (k, w) in self.counts.iter().enumerate() {
+                if ctx.read(w)? > 0 {
+                    return Ok(Some(k as u64));
+                }
+            }
+            Ok(None)
+        })
+    }
+}
+
+/// Word-per-lane quiescence under TLE: `arrive` writes the calling lane's
+/// word, `query` folds the minimum. Threads off the gate share slot 0
+/// (the explorer always runs on lanes).
+pub struct TleQui {
+    tle: Tle,
+    slots: Vec<TxWord>,
+}
+
+impl TleQui {
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0);
+        TleQui {
+            tle: Tle::new(TLE_ATTEMPTS),
+            slots: (0..lanes).map(|_| TxWord::new(pto_core::IDLE)).collect(),
+        }
+    }
+
+    fn my_slot(&self) -> &TxWord {
+        &self.slots[current_lane().unwrap_or(0).min(self.slots.len() - 1)]
+    }
+}
+
+impl Quiescence for TleQui {
+    fn arrive(&self, value: u64) {
+        assert!(value != pto_core::IDLE, "IDLE is reserved");
+        let w = self.my_slot();
+        self.tle.execute(|ctx| ctx.write(w, value))
+    }
+
+    fn depart(&self) {
+        let w = self.my_slot();
+        self.tle.execute(|ctx| ctx.write(w, pto_core::IDLE))
+    }
+
+    fn query(&self) -> u64 {
+        self.tle.execute(|ctx| {
+            let mut min = pto_core::IDLE;
+            for w in &self.slots {
+                min = min.min(ctx.read(w)?);
+            }
+            Ok(min)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tle_set_tracks_membership() {
+        let s = TleSet::new(8);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn tle_fifo_is_fifo() {
+        let q = TleFifo::new(4);
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(10);
+        q.enqueue(20);
+        assert_eq!(q.dequeue(), Some(10));
+        q.enqueue(30);
+        q.enqueue(40);
+        q.enqueue(50); // wraps the ring
+        assert_eq!(q.dequeue(), Some(20));
+        assert_eq!(q.dequeue(), Some(30));
+        assert_eq!(q.dequeue(), Some(40));
+        assert_eq!(q.dequeue(), Some(50));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn tle_pq_pops_in_min_order() {
+        let pq = TlePq::new(16);
+        for k in [9, 2, 9, 5] {
+            pq.push(k);
+        }
+        assert_eq!(pq.peek_min(), Some(2));
+        assert_eq!(pq.pop_min(), Some(2));
+        assert_eq!(pq.pop_min(), Some(5));
+        assert_eq!(pq.pop_min(), Some(9));
+        assert_eq!(pq.pop_min(), Some(9));
+        assert_eq!(pq.pop_min(), None);
+    }
+
+    #[test]
+    fn tle_qui_folds_minimum() {
+        let m = TleQui::new(4);
+        assert_eq!(m.query(), pto_core::IDLE);
+        m.arrive(17);
+        assert_eq!(m.query(), 17);
+        m.depart();
+        assert_eq!(m.query(), pto_core::IDLE);
+    }
+
+    #[test]
+    fn tle_structures_survive_contention() {
+        let q = TleFifo::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        q.enqueue(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = q.dequeue() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 32);
+        // Per-producer subsequences stay ordered.
+        for t in 0..4u64 {
+            let mine: Vec<u64> = got
+                .iter()
+                .copied()
+                .filter(|v| v / 100 == t)
+                .collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]), "{mine:?}");
+        }
+    }
+}

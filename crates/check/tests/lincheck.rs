@@ -1,0 +1,210 @@
+//! End-to-end linearizability checks: the acceptance matrix.
+//!
+//! Every one of the paper's five structures is explored under its
+//! lock-free, PTO, and TLE variants (structure-specific TLE where it
+//! exists — the Mindicator — and the generic `pto_check::tle` baselines
+//! for the other abstract types), on seeded multi-schedule workloads of
+//! at least 4 lanes and at least 1k checked operations per variant. A
+//! deliberately broken variant proves the pipeline catches ordering bugs
+//! and shrinks them to readable witnesses.
+//!
+//! Sessions arm process-global machinery (history recording, abort
+//! injection), so everything runs under one serializing lock.
+
+use pto_bst::{Bst, BstVariant};
+use pto_check::broken::BrokenFifo;
+use pto_check::explore::{
+    explore_fifo, explore_pq, explore_qui, explore_set, ExploreCfg, QueryMode,
+};
+use pto_check::tle::{TleFifo, TlePq, TleQui, TleSet};
+use pto_core::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
+use pto_hashtable::{FSetHashTable, HashVariant};
+use pto_list::{HarrisList, ListVariant};
+use pto_mindicator::{LockFreeMindicator, PtoMindicator, TleMindicator};
+use pto_mound::Mound;
+use pto_msqueue::MsQueue;
+use pto_skiplist::{SkipListSet, SkipQueue};
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// ≥ 4 lanes, 64 ops per lane, 5 schedules → ≥ 1 280 checked ops.
+fn cfg() -> ExploreCfg {
+    ExploreCfg {
+        seed: 0x11CE_C4EC,
+        lanes: 4,
+        ops_per_lane: 64,
+        keyspace: 24,
+        schedules: 5,
+        max_nodes: 10_000_000,
+    }
+}
+
+fn assert_clean(name: &str, report: &pto_check::ExploreReport) {
+    if let Some(v) = &report.violation {
+        panic!(
+            "{name}: non-linearizable under schedule {}\n{}",
+            v.schedule,
+            v.witness.render()
+        );
+    }
+    assert_eq!(report.exhausted, 0, "{name}: checker ran out of budget");
+    assert!(
+        report.ops_checked >= 1_000,
+        "{name}: only {} ops checked",
+        report.ops_checked
+    );
+}
+
+fn check_set(name: &str, make: &dyn Fn() -> Box<dyn ConcurrentSet>) {
+    let prefill = [1, 5, 9, 13, 17, 21];
+    let report = explore_set(&cfg(), make, &prefill);
+    assert_clean(name, &report);
+}
+
+fn check_fifo(name: &str, make: &dyn Fn() -> Box<dyn FifoQueue>) {
+    let prefill = [1 << 40, 2 << 40, 3 << 40];
+    let report = explore_fifo(&cfg(), make, &prefill);
+    assert_clean(name, &report);
+}
+
+fn check_pq(name: &str, make: &dyn Fn() -> Box<dyn PriorityQueue>) {
+    let prefill = [3, 11, 19];
+    let report = explore_pq(&cfg(), make, &prefill);
+    assert_clean(name, &report);
+}
+
+fn check_qui(name: &str, make: &dyn Fn() -> Box<dyn Quiescence>, mode: QueryMode) {
+    // Quiescent mode excludes update-overlapped queries from checking
+    // (roughly two thirds of a busy 4-lane run), so those variants explore
+    // three times the schedules to keep ≥ 1k ops actually checked.
+    let cfg = match mode {
+        QueryMode::Exact => cfg(),
+        QueryMode::Quiescent => ExploreCfg {
+            schedules: 15,
+            ..cfg()
+        },
+    };
+    let report = explore_qui(&cfg, make, mode);
+    assert_clean(name, &report);
+}
+
+// -- structure 1: Mindicator (quiescence) --------------------------------
+
+#[test]
+fn mindicator_variants_linearize() {
+    let _g = serial();
+    // The lock-free and PTO Mindicators' query is quiescently consistent
+    // by design (an arrive may early-stop below another thread's
+    // still-climbing fold), so only update ops and quiescent queries are
+    // held to the spec; the TLE variants' query is a single atomic root
+    // read and is checked exactly.
+    check_qui(
+        "mindicator/lockfree",
+        &|| Box::new(LockFreeMindicator::new(8)),
+        QueryMode::Quiescent,
+    );
+    check_qui(
+        "mindicator/pto",
+        &|| Box::new(PtoMindicator::new(8)),
+        QueryMode::Quiescent,
+    );
+    check_qui(
+        "mindicator/tle",
+        &|| Box::new(TleMindicator::new(8)),
+        QueryMode::Exact,
+    );
+    check_qui("qui/tle-generic", &|| Box::new(TleQui::new(8)), QueryMode::Exact);
+}
+
+// -- structure 2: Michael–Scott queue (FIFO) -----------------------------
+
+#[test]
+fn msqueue_variants_linearize() {
+    let _g = serial();
+    check_fifo("msqueue/lockfree", &|| Box::new(MsQueue::new_lockfree()));
+    check_fifo("msqueue/pto", &|| Box::new(MsQueue::new_pto()));
+    check_fifo("fifo/tle-generic", &|| Box::new(TleFifo::new(4096)));
+}
+
+// -- structure 3: list + hash table (set) --------------------------------
+
+#[test]
+fn list_and_hashtable_variants_linearize() {
+    let _g = serial();
+    check_set("list/lockfree", &|| {
+        Box::new(HarrisList::new(ListVariant::LockFree))
+    });
+    check_set("list/pto-whole", &|| {
+        Box::new(HarrisList::new(ListVariant::PtoWhole))
+    });
+    check_set("list/pto-update", &|| {
+        Box::new(HarrisList::new(ListVariant::PtoUpdate))
+    });
+    check_set("hashtable/lockfree", &|| {
+        Box::new(FSetHashTable::new(HashVariant::LockFree, 4))
+    });
+    check_set("hashtable/pto", &|| {
+        Box::new(FSetHashTable::new(HashVariant::Pto, 4))
+    });
+    check_set("set/tle-generic", &|| Box::new(TleSet::new(24)));
+}
+
+// -- structure 4: skiplist (set + pq) and BST (set) ----------------------
+
+#[test]
+fn skiplist_and_bst_variants_linearize() {
+    let _g = serial();
+    check_set("skiplist/lockfree", &|| {
+        Box::new(SkipListSet::new_lockfree())
+    });
+    check_set("skiplist/pto", &|| Box::new(SkipListSet::new_pto()));
+    check_pq("skipqueue/lockfree", &|| Box::new(SkipQueue::new_lockfree()));
+    check_pq("skipqueue/pto", &|| Box::new(SkipQueue::new_pto()));
+    check_set("bst/lockfree", &|| Box::new(Bst::new(BstVariant::LockFree)));
+    check_set("bst/pto1", &|| Box::new(Bst::new(BstVariant::Pto1)));
+    check_set("bst/pto1pto2", &|| Box::new(Bst::new(BstVariant::Pto1Pto2)));
+}
+
+// -- structure 5: Mound (pq) ---------------------------------------------
+
+#[test]
+fn mound_variants_linearize() {
+    let _g = serial();
+    check_pq("mound/lockfree", &|| Box::new(Mound::new_lockfree(10)));
+    check_pq("mound/pto", &|| Box::new(Mound::new_pto(10)));
+    check_pq("pq/tle-generic", &|| Box::new(TlePq::new(24)));
+}
+
+// -- the bug is caught ----------------------------------------------------
+
+#[test]
+fn broken_fifo_yields_a_minimized_witness() {
+    let _g = serial();
+    let report = explore_fifo(&cfg(), &|| Box::new(BrokenFifo::new()), &[]);
+    let v = report.violation.expect("commit-reorder fault must be caught");
+    // The minimized witness is tiny and honest: a handful of ops, every
+    // dequeued value still sourced by a retained enqueue.
+    assert!(
+        (2..=4).contains(&v.minimized.ops()),
+        "witness not minimal:\n{}",
+        v.witness.render()
+    );
+    for o in v.minimized.lanes.iter().flatten() {
+        if let pto_check::Ret::Opt(Some(val)) = o.ret {
+            assert!(
+                v.minimized
+                    .lanes
+                    .iter()
+                    .flatten()
+                    .any(|e| e.op == pto_check::Op::Enqueue(val)),
+                "witness dequeues {val} without its enqueue"
+            );
+        }
+    }
+    // And the renderer produces something a human can read.
+    let text = v.witness.render();
+    assert!(text.contains("non-linearizable"));
+}

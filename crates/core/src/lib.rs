@@ -33,7 +33,7 @@ pub mod tle;
 pub mod traits;
 
 pub use policy::{pto, pto2, Backoff, PtoPolicy, PtoStats};
-pub use traits::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
+pub use traits::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence, IDLE};
 
 /// Explicit-abort code used by prefix transactions that observe a state
 /// requiring *helping* (an installed descriptor, a marked node): per §2.4

@@ -31,16 +31,16 @@ pub enum Backoff {
 }
 
 /// Deterministic per-thread seed stream for backoff jitter: each thread's
-/// RNG is seeded from a shared Weyl sequence, so runs are reproducible
-/// (thread seeds depend only on first-use order, not addresses or time).
+/// RNG is seeded from a shared [`pto_sim::rng::WeylSeq`], so runs are
+/// reproducible (thread seeds depend only on first-use order, not
+/// addresses or time).
 fn backoff_rng_draw(window: u64) -> u64 {
     use std::cell::RefCell;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    static SEEDS: pto_sim::rng::WeylSeq =
+        pto_sim::rng::WeylSeq::new(pto_sim::rng::WEYL_STEP);
     thread_local! {
-        static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(
-            SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
-        ));
+        static RNG: RefCell<XorShift64> =
+            RefCell::new(XorShift64::new(SEEDS.next_seed()));
     }
     RNG.with(|r| r.borrow_mut().below(window))
 }

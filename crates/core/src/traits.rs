@@ -47,15 +47,15 @@ pub const IDLE: u64 = u64::MAX;
 /// A quiescence/aggregation object: the interface of mbench (§4.1) and of
 /// the Mindicator, which tracks the minimum over every thread's current
 /// value.
+///
+/// (Dyn-compatible by design: `pto-check` records trait objects of it, so
+/// the [`IDLE`] sentinel lives as a free constant, not an associated one.)
 pub trait Quiescence: Sync {
     /// Announce that the calling thread is active with `value`.
     fn arrive(&self, value: u64);
     /// Announce that the calling thread is no longer active.
     fn depart(&self);
-    /// The minimum value over all currently arrived threads, or
-    /// [`Quiescence::IDLE`] when none are arrived.
+    /// The minimum value over all currently arrived threads, or [`IDLE`]
+    /// when none are arrived.
     fn query(&self) -> u64;
-
-    /// Sentinel returned by `query` when no thread is arrived.
-    const IDLE: u64 = IDLE;
 }

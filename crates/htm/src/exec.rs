@@ -10,9 +10,11 @@
 use crate::stats;
 use crate::txn::{AbortCause, FenceMode, Txn};
 use crate::TxResult;
+use pto_sim::rng::WeylSeq;
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-attempt configuration.
 #[derive(Clone, Copy, Debug)]
@@ -48,22 +50,18 @@ thread_local! {
     static CHAOS_RNG: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Per-thread salt for chaos seeding: a shared counter stepped by an odd
-/// constant, so every thread's first draw starts from a distinct state.
-static CHAOS_SALT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+/// Per-thread seed stream for chaos injection. See [`WeylSeq`] for why a
+/// shared stepped counter (and not a thread-local's address) is the right
+/// seed source: every thread gets a distinct stream, and the streams depend
+/// only on first-use order, so chaos runs are reproducible.
+static CHAOS_SEEDS: WeylSeq = WeylSeq::new(0xC0A0_5EED_0000_0001);
 
-/// Cheap per-thread xorshift draw for failure injection. Seeded lazily from
-/// the **thread-local** `Cell`'s address mixed with a global salt counter —
-/// seeding from a per-process address (e.g. the `LocalKey` static) would
-/// give every thread the identical chaos sequence, perfectly correlating
-/// the injected failures across lanes.
+/// Cheap per-thread xorshift draw for failure injection.
 fn chaos_strikes(pct: u8) -> bool {
     CHAOS_RNG.with(|c| {
         let mut x = c.get();
         if x == 0 {
-            let salt = CHAOS_SALT
-                .fetch_add(0x9E37_79B9_7F4A_7C15, std::sync::atomic::Ordering::Relaxed);
-            x = (c as *const Cell<u64> as u64 ^ salt) | 1;
+            x = CHAOS_SEEDS.next_seed();
         }
         x ^= x >> 12;
         x ^= x << 25;
@@ -71,6 +69,61 @@ fn chaos_strikes(pct: u8) -> bool {
         c.set(x);
         (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 57) < (pct as u64 * 128 / 100)
     })
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic abort injection (schedule-exploration hook)
+//
+// Where `chaos_abort_pct` models *random* best-effort failures, the
+// `pto-check` explorer needs *targeted* ones: "abort the k-th, k+p-th, ...
+// would-commit attempt in this run" steers executions into the fallback and
+// mixed prefix/fallback interleavings that random chaos only rarely hits.
+// The hook is process-global (armed around one `Sim::run`) and counts
+// attempts whose body completed — the same point `chaos_abort_pct` strikes.
+
+/// Injection period; 0 = disarmed (the hot path is one relaxed load).
+static INJECT_PERIOD: AtomicU64 = AtomicU64::new(0);
+static INJECT_PHASE: AtomicU64 = AtomicU64::new(0);
+static INJECT_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+
+/// Arm deterministic abort injection: while armed, the attempt counter is
+/// incremented by every transaction whose body completes on a **simulator
+/// lane** (threads not attached to a gate are never struck, so arming
+/// cannot perturb unrelated work), and attempts where
+/// `counter % period == phase` abort with [`AbortCause::Spurious`] instead
+/// of committing.
+///
+/// Panics if `period` is zero. Arm before `Sim::run`, disarm after; the
+/// counter resets on each arm.
+pub fn arm_abort_injection(period: u64, phase: u64) {
+    assert!(period > 0, "abort-injection period must be positive");
+    INJECT_PHASE.store(phase % period, Ordering::SeqCst);
+    INJECT_ATTEMPTS.store(0, Ordering::SeqCst);
+    INJECT_PERIOD.store(period, Ordering::SeqCst);
+}
+
+/// Disarm abort injection (idempotent). Transactions in flight observe the
+/// disarm at their next commit point.
+pub fn disarm_abort_injection() {
+    INJECT_PERIOD.store(0, Ordering::SeqCst);
+}
+
+#[inline]
+fn injection_strikes() -> bool {
+    let period = INJECT_PERIOD.load(Ordering::Relaxed);
+    if period == 0 {
+        return false;
+    }
+    injection_strikes_armed(period)
+}
+
+#[cold]
+fn injection_strikes_armed(period: u64) -> bool {
+    if pto_sim::clock::current_lane().is_none() {
+        return false;
+    }
+    let phase = INJECT_PHASE.load(Ordering::Relaxed);
+    INJECT_ATTEMPTS.fetch_add(1, Ordering::Relaxed) % period == phase
 }
 
 struct NestGuard;
@@ -131,6 +184,14 @@ pub fn transaction_with<'e, T>(
     trace::emit(EventKind::TxBegin { rv });
     let mut tx = Txn::new(rv, opts.fence_mode, opts.read_cap, opts.write_cap);
     match f(&mut tx) {
+        Ok(_) if injection_strikes() => {
+            charge(CostKind::TxAbort);
+            stats::record_abort(AbortCause::Spurious);
+            trace::emit(EventKind::TxAbort {
+                cause: AbortCause::Spurious.trace_code(),
+            });
+            Err(AbortCause::Spurious)
+        }
         Ok(_) if opts.chaos_abort_pct > 0 && chaos_strikes(opts.chaos_abort_pct) => {
             charge(CostKind::TxAbort);
             stats::record_abort(AbortCause::Spurious);
@@ -248,6 +309,59 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    // Abort injection is process-global; tests that arm it must not overlap.
+    fn inject_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn injection_strikes_every_period_th_commit_on_a_lane() {
+        let _g = inject_serial();
+        arm_abort_injection(3, 1);
+        let w = TxWord::new(0);
+        let outcomes = std::sync::Mutex::new(Vec::new());
+        pto_sim::Sim::new(1).run(|_| {
+            for _ in 0..9 {
+                let ok = transaction(|tx| tx.read(&w)).is_ok();
+                outcomes.lock().unwrap().push(ok);
+            }
+        });
+        disarm_abort_injection();
+        // Attempts 1, 4, 7 (0-based) hit phase 1 of period 3.
+        let expected = [true, false, true, true, false, true, true, false, true];
+        assert_eq!(outcomes.into_inner().unwrap(), expected);
+    }
+
+    #[test]
+    fn injection_ignores_threads_off_the_gate() {
+        let _g = inject_serial();
+        arm_abort_injection(1, 0); // would abort every lane attempt
+        let w = TxWord::new(0);
+        for _ in 0..8 {
+            assert!(transaction(|tx| tx.read(&w)).is_ok());
+        }
+        disarm_abort_injection();
+    }
+
+    #[test]
+    fn disarmed_injection_never_strikes() {
+        let _g = inject_serial();
+        disarm_abort_injection();
+        let w = TxWord::new(0);
+        pto_sim::Sim::new(1).run(|_| {
+            for _ in 0..8 {
+                assert!(transaction(|tx| tx.read(&w)).is_ok());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_injection_panics() {
+        arm_abort_injection(0, 0);
     }
 
     #[test]

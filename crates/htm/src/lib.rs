@@ -35,7 +35,9 @@ mod word;
 
 pub mod hw;
 
-pub use exec::{transaction, transaction_with, TxOpts};
+pub use exec::{
+    arm_abort_injection, disarm_abort_injection, transaction, transaction_with, TxOpts,
+};
 pub use stats::{reset as reset_stats, snapshot, CauseCounters, HtmSnapshot};
 pub use txn::{Abort, AbortCause, FenceMode, TxResult, Txn};
 pub use word::TxWord;

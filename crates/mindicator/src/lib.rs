@@ -470,7 +470,7 @@ mod tests {
     fn check_quiescent_min<Q: Quiescence>(q: &Q, expect: Option<u64>) {
         match expect {
             Some(v) => assert_eq!(q.query(), v),
-            None => assert_eq!(q.query(), Q::IDLE),
+            None => assert_eq!(q.query(), pto_core::IDLE),
         }
     }
 
@@ -558,7 +558,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(m.query(), Q::IDLE);
+        assert_eq!(m.query(), pto_core::IDLE);
     }
 
     #[test]
@@ -595,7 +595,7 @@ mod tests {
                         // the barrier-synchronized tests and at the end of
                         // this stress.
                         assert!(
-                            q <= 100_000 || q == Q::IDLE,
+                            q <= 100_000 || q == pto_core::IDLE,
                             "query returned a value nobody ever announced: {q}"
                         );
                         m.depart();
@@ -603,7 +603,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(m.query(), Q::IDLE, "tree not quiescent after stress");
+        assert_eq!(m.query(), pto_core::IDLE, "tree not quiescent after stress");
     }
 
     #[test]

@@ -87,18 +87,13 @@ enum Prims {
     Pto { policy: PtoPolicy, stats: PtoStats },
 }
 
-/// Per-thread seed from a shared Weyl sequence. (Taking the address of the
-/// `thread_local!` static itself would hand every thread the *same* seed —
-/// the `LocalKey` is one process-global object — so leaf draws would
-/// collide on all threads.)
-fn rng_seed() -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static SEED: AtomicU64 = AtomicU64::new(0xA076_1D64_78BD_642F);
-    SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
-}
+/// Per-thread leaf-probe seeds from a shared Weyl sequence (see
+/// [`pto_sim::rng::WeylSeq`] for why a thread-local's address is the wrong
+/// seed source).
+static RNG_SEEDS: pto_sim::rng::WeylSeq = pto_sim::rng::WeylSeq::new(0xA076_1D64_78BD_642F);
 
 thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(rng_seed()));
+    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(RNG_SEEDS.next_seed()));
 }
 
 /// Consecutive failed random-leaf draws before the tree grows a level
@@ -357,8 +352,22 @@ impl Mound {
                 continue; // re-read (either we cleaned it or someone raced)
             }
             let right = left + 1;
+            // A child can itself still be dirty (a previous removal's
+            // moundify pushed its bit down and hasn't finished). Its head is
+            // then no bound on its subtree, so swapping with it could
+            // install a non-minimal "clean" list here. Finish the child
+            // first, then re-evaluate. (The transactional pop guards the
+            // same case by aborting on a dirty child.)
             let cl = kcas::read(self, left as u64);
+            if is_dirty(cl) {
+                self.moundify(left);
+                continue;
+            }
             let cr = kcas::read(self, right as u64);
+            if is_dirty(cr) {
+                self.moundify(right);
+                continue;
+            }
             let vn = self.word_val(c);
             let vl = self.word_val(cl);
             let vr = self.word_val(cr);

@@ -227,6 +227,54 @@ mod tests {
         assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
     }
 
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let empty = HistSnapshot::default();
+        assert_eq!(empty.merge(&empty), empty);
+        let s = hist_of(&[3, 17, 1 << 50]);
+        assert_eq!(s.merge(&empty), s);
+        assert_eq!(empty.merge(&s), s);
+    }
+
+    #[test]
+    fn single_bucket_stream_pins_every_percentile_to_that_bucket() {
+        // All samples share bucket 5 ([32, 63]): every percentile must be
+        // clamped to the stream max, and only bucket 5 is populated.
+        let s = hist_of(&[32, 40, 63, 33, 60]);
+        assert_eq!(s.buckets[5], 5);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        for p in [0.001, 1.0, 50.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            assert!((32..=63).contains(&v), "p{p} = {v} outside bucket");
+            assert!(v <= s.max);
+        }
+        assert_eq!(s.percentile(100.0), 63.min(s.max));
+    }
+
+    #[test]
+    fn tiny_percentile_clamps_rank_to_first_sample() {
+        // rank = ceil(p·n/100) clamps to 1, never 0.
+        let s = hist_of(&[8, 1 << 30]);
+        assert_eq!(s.percentile(0.000001), 15.min(s.max));
+    }
+
+    #[test]
+    fn sum_wraps_while_max_and_count_stay_exact() {
+        // The sum accumulator is documented as wrapping; merge must wrap
+        // identically so merge-vs-concat equality survives saturation-scale
+        // samples.
+        let a = hist_of(&[u64::MAX, u64::MAX]);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.max, u64::MAX);
+        assert_eq!(a.sum, u64::MAX.wrapping_add(u64::MAX));
+        let b = hist_of(&[2]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.sum, a.sum.wrapping_add(2));
+        assert_eq!(merged, hist_of(&[u64::MAX, u64::MAX, 2]));
+        // Percentiles remain bounded by max even at the saturated end.
+        assert_eq!(merged.percentile(100.0), u64::MAX);
+    }
+
     // -- satellite: proptest-lite properties over arbitrary u64 samples --
 
     #[test]

@@ -1,0 +1,424 @@
+//! Operation-history recording for linearizability checking.
+//!
+//! Where [`trace`](crate::trace) records low-level *events* (transaction
+//! boundaries, epoch pins), this module records whole *operations* —
+//! invocation and response, stamped with the recording thread's virtual
+//! clock — so `pto-check` can replay them against a sequential
+//! specification and decide whether the concurrent execution linearizes.
+//!
+//! The recorded payload is deliberately untyped: an operation is a `u16`
+//! code plus two `u64` words (argument and encoded return value). The
+//! meaning of the codes belongs to the recorder (`pto_check::record`); this
+//! module only owns the timestamping and the per-thread buffering, which
+//! must live next to [`clock`](crate::clock) so the stamps are the same
+//! virtual cycles every other subsystem reports.
+//!
+//! Design constraints mirror [`trace`](crate::trace):
+//!
+//! 1. **Zero effect when disarmed.** [`record`] never calls
+//!    [`charge`](crate::charge) and its disarmed path is a single relaxed
+//!    atomic load, so virtual-time results are bit-identical with recording
+//!    compiled in but disarmed (the `golden_makespan` suite runs with the
+//!    hooks in place).
+//! 2. **Bounded memory.** Each per-thread buffer stores at most the session
+//!    capacity; overflow increments a drop counter, and a drained history
+//!    that dropped records is unusable for checking (the checker refuses
+//!    incomplete histories).
+//! 3. **No cross-thread coordination on the hot path.** Buffers are
+//!    thread-local; exiting threads park them into a collector the hot path
+//!    never locks.
+//!
+//! Unlike tracing — where a lost buffer merely thins the picture — a lost
+//! history makes the checker unsound, so collection must not depend on TLS
+//! destructor timing: `std::thread::scope` (which `Sim::run` uses) returns
+//! as soon as each worker's closure finishes, *before* the C runtime runs
+//! that thread's TLS destructors, so a buffer parked only by its destructor
+//! can arrive after [`HistorySession::drain`] already emptied the
+//! collector. Recording bodies therefore call [`flush`] as their last
+//! statement — a flush inside the closure happens-before the scope join and
+//! hence before the drain. The destructor still parks as a best-effort
+//! backup for plain `spawn`/`join` threads (pthread join waits out TLS
+//! destructors), and [`RawHistory::lost_threads`] counts any buffer that
+//! was created but never collected so a checker can refuse the history
+//! rather than silently verify a subset.
+
+use crate::sync::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default per-thread operation capacity of a session.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// One completed operation as the recorder saw it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Virtual clock at invocation (before the operation ran).
+    pub inv: u64,
+    /// Virtual clock at response (after it returned). `res >= inv` on a
+    /// given thread; cross-thread comparisons carry the gate skew.
+    pub res: u64,
+    /// Operation code; meaning assigned by the recorder.
+    pub op: u16,
+    /// Operation argument (key/value), recorder-defined.
+    pub arg: u64,
+    /// Encoded return value, recorder-defined.
+    pub ret: u64,
+}
+
+/// One recording thread's operation sequence, in program order.
+#[derive(Debug)]
+pub struct ThreadHistory {
+    /// The gate lane the thread was attached to at its first record, if any.
+    pub lane: Option<usize>,
+    /// Creation order across all threads of the session (stable id).
+    pub ordinal: u64,
+    pub ops: Vec<OpRecord>,
+    /// Records discarded after the buffer reached the session capacity.
+    pub dropped: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static SESSION: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+fn collector() -> &'static Mutex<Vec<ThreadHistory>> {
+    static C: OnceLock<Mutex<Vec<ThreadHistory>>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct LocalHist {
+    session: u64,
+    capacity: usize,
+    hist: ThreadHistory,
+}
+
+/// TLS wrapper whose destructor parks the thread's history when the thread
+/// exits mid-session (scoped sim threads exit before the drain).
+struct LocalSlot {
+    slot: RefCell<Option<LocalHist>>,
+}
+
+impl Drop for LocalSlot {
+    fn drop(&mut self) {
+        if let Some(lh) = self.slot.borrow_mut().take() {
+            park_if_current(lh);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalSlot = const {
+        LocalSlot {
+            slot: RefCell::new(None),
+        }
+    };
+}
+
+fn park_if_current(lh: LocalHist) {
+    if lh.session == SESSION.load(Ordering::Acquire) {
+        collector().lock().push(lh.hist);
+    }
+}
+
+/// Park the current thread's buffer into the session collector.
+///
+/// Recording bodies that run under `std::thread::scope` (including every
+/// `Sim::run` lane body) must call this as their **last statement**: scope
+/// join does not wait for TLS destructors, so only an explicit flush is
+/// guaranteed to land before the harness drains. Safe to call when nothing
+/// was recorded or no session is armed (a no-op); recording again after a
+/// flush starts a fresh [`ThreadHistory`] with a new ordinal.
+pub fn flush() {
+    let _ = LOCAL.try_with(|local| {
+        if let Some(lh) = local.slot.borrow_mut().take() {
+            park_if_current(lh);
+        }
+    });
+}
+
+/// True while a [`HistorySession`] is armed (recorders may use this to skip
+/// building payloads; [`record`] is safe to call either way).
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Record one completed operation on the current thread.
+///
+/// `inv` and `res` are the caller's [`now`](crate::now) readings bracketing
+/// the operation (reading the clock charges nothing). A no-op (one relaxed
+/// load) unless a [`HistorySession`] is armed; never charges virtual time.
+#[inline]
+pub fn record(op: u16, arg: u64, ret: u64, inv: u64, res: u64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    record_slow(op, arg, ret, inv, res);
+}
+
+#[cold]
+fn record_slow(op: u16, arg: u64, ret: u64, inv: u64, res: u64) {
+    let session = SESSION.load(Ordering::Acquire);
+    // try_with: records arriving while TLS is being torn down are dropped.
+    let _ = LOCAL.try_with(|local| {
+        let mut slot = local.slot.borrow_mut();
+        let stale = match slot.as_ref() {
+            Some(lh) => lh.session != session,
+            None => true,
+        };
+        if stale {
+            let capacity = CAPACITY.load(Ordering::Acquire);
+            *slot = Some(LocalHist {
+                session,
+                capacity,
+                hist: ThreadHistory {
+                    lane: crate::clock::current_lane(),
+                    ordinal: NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+                    ops: Vec::with_capacity(capacity.min(1024)),
+                    dropped: 0,
+                },
+            });
+        }
+        let lh = slot.as_mut().unwrap();
+        if lh.hist.ops.len() >= lh.capacity {
+            lh.hist.dropped += 1;
+        } else {
+            lh.hist.ops.push(OpRecord {
+                inv,
+                res,
+                op,
+                arg,
+                ret,
+            });
+        }
+    });
+}
+
+/// A drained session: one [`ThreadHistory`] per recording thread, in
+/// thread-creation order.
+#[derive(Debug)]
+pub struct RawHistory {
+    pub threads: Vec<ThreadHistory>,
+    /// Buffers created during the session that never reached the collector
+    /// (a recording body exited without [`flush`] and its TLS destructor
+    /// lost the race with the drain). Nonzero means the history is
+    /// incomplete and must not be checked.
+    pub lost_threads: u64,
+}
+
+impl RawHistory {
+    /// Total recorded operations across all threads.
+    pub fn ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// Total operations discarded due to capacity, across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// True when every created buffer was collected and none overflowed:
+    /// the history is exactly what the recorders observed.
+    pub fn complete(&self) -> bool {
+        self.lost_threads == 0 && self.dropped() == 0
+    }
+}
+
+/// A scoped arming of the global history machinery. At most one session can
+/// be armed at a time; [`HistorySession::drain`] (or drop) disarms.
+///
+/// Drain sees only buffers that were parked — by [`flush`] at the end of
+/// each recording body (required under `Sim::run` / `std::thread::scope`;
+/// see the module docs) or by TLS destructors of plainly-joined threads —
+/// plus the draining thread's own buffer. Arm and drain from the harness
+/// thread that runs the sim; check [`RawHistory::lost_threads`] before
+/// trusting the result.
+#[must_use = "an unarmed session records nothing; call drain() to collect"]
+pub struct HistorySession {
+    _private: (),
+}
+
+impl HistorySession {
+    /// Arm recording with [`DEFAULT_CAPACITY`] operations per thread.
+    pub fn arm() -> HistorySession {
+        HistorySession::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Arm recording with an explicit per-thread operation capacity.
+    ///
+    /// Panics if a session is already armed.
+    pub fn with_capacity(capacity: usize) -> HistorySession {
+        assert!(capacity > 0, "history capacity must be positive");
+        assert!(
+            !ARMED.swap(true, Ordering::SeqCst),
+            "a HistorySession is already armed"
+        );
+        collector().lock().clear();
+        CAPACITY.store(capacity, Ordering::SeqCst);
+        NEXT_ORDINAL.store(0, Ordering::SeqCst);
+        SESSION.fetch_add(1, Ordering::SeqCst);
+        HistorySession { _private: () }
+    }
+
+    /// Disarm and collect everything recorded since arming.
+    pub fn drain(self) -> RawHistory {
+        ARMED.store(false, Ordering::SeqCst);
+        flush();
+        let mut threads = std::mem::take(&mut *collector().lock());
+        // Every buffer creation allocated an ordinal this session; one
+        // missing from the collector was never parked.
+        let lost_threads = NEXT_ORDINAL.load(Ordering::SeqCst) - threads.len() as u64;
+        threads.retain(|t| !t.ops.is_empty() || t.dropped > 0);
+        threads.sort_by_key(|t| t.ordinal);
+        RawHistory {
+            threads,
+            lost_threads,
+        }
+    }
+}
+
+impl Drop for HistorySession {
+    fn drop(&mut self) {
+        // Reached on drain (idempotent) and on an abandoned session.
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Sessions are process-global; tests that arm must not overlap.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_record_is_a_no_op() {
+        let _g = serial();
+        record(1, 2, 3, 0, 10);
+        let raw = HistorySession::arm().drain();
+        assert_eq!(raw.ops(), 0);
+        assert!(!armed());
+    }
+
+    #[test]
+    fn records_round_trip_in_program_order() {
+        let _g = serial();
+        let session = HistorySession::arm();
+        assert!(armed());
+        record(1, 100, 1, 0, 5);
+        record(2, 200, 0, 5, 9);
+        let raw = session.drain();
+        let own = raw
+            .threads
+            .iter()
+            .find(|t| t.ops.iter().any(|o| o.arg == 100))
+            .expect("own thread history");
+        assert_eq!(own.ops.len(), 2);
+        assert_eq!(own.ops[0], OpRecord { inv: 0, res: 5, op: 1, arg: 100, ret: 1 });
+        assert_eq!(own.ops[1], OpRecord { inv: 5, res: 9, op: 2, arg: 200, ret: 0 });
+        // Recording after drain is a no-op.
+        record(3, 300, 0, 9, 12);
+        let raw2 = HistorySession::arm().drain();
+        assert_eq!(raw2.ops(), 0);
+    }
+
+    #[test]
+    fn flushed_worker_histories_survive_scope_join() {
+        let _g = serial();
+        let session = HistorySession::arm();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                record(7, 1, 0, 0, 1);
+                record(7, 2, 0, 1, 2);
+                flush();
+            });
+            s.spawn(|| {
+                record(7, 3, 0, 0, 1);
+                flush();
+            });
+        });
+        let raw = session.drain();
+        assert_eq!(raw.lost_threads, 0);
+        assert_eq!(raw.ops(), 3);
+        // Two distinct thread histories with stable ordinals.
+        assert_eq!(raw.threads.len(), 2);
+        assert_ne!(raw.threads[0].ordinal, raw.threads[1].ordinal);
+        assert!(raw.complete());
+    }
+
+    #[test]
+    fn joined_thread_history_is_parked_by_tls_destructor() {
+        // Plain spawn + join waits for TLS destructors, so the backup
+        // parking path collects without an explicit flush.
+        let _g = serial();
+        let session = HistorySession::arm();
+        std::thread::spawn(|| record(7, 9, 0, 0, 1))
+            .join()
+            .unwrap();
+        let raw = session.drain();
+        assert_eq!(raw.lost_threads, 0);
+        assert_eq!(raw.ops(), 1);
+        assert_eq!(raw.threads[0].ops[0].arg, 9);
+    }
+
+    #[test]
+    fn unflushed_scoped_worker_is_counted_as_lost() {
+        // A scoped worker that skips flush() may or may not win the TLS
+        // destructor race against the drain; either way the accounting must
+        // balance so the checker can tell whether the history is whole.
+        let _g = serial();
+        let session = HistorySession::arm();
+        std::thread::scope(|s| {
+            s.spawn(|| record(7, 1, 0, 0, 1));
+        });
+        let raw = session.drain();
+        assert_eq!(raw.threads.len() as u64 + raw.lost_threads, 1);
+        assert_eq!(raw.complete(), raw.ops() == 1);
+    }
+
+    #[test]
+    fn capacity_overflow_counts_drops() {
+        let _g = serial();
+        let session = HistorySession::with_capacity(3);
+        for i in 0..10 {
+            record(1, i, 0, i, i + 1);
+        }
+        let raw = session.drain();
+        assert_eq!(raw.ops(), 3);
+        assert_eq!(raw.dropped(), 7);
+    }
+
+    #[test]
+    fn double_arm_panics_and_abandoned_session_disarms() {
+        let _g = serial();
+        let session = HistorySession::arm();
+        assert!(std::panic::catch_unwind(HistorySession::arm).is_err());
+        drop(session); // abandoned: must disarm
+        HistorySession::arm().drain();
+    }
+
+    #[test]
+    fn lane_is_captured_from_the_gate() {
+        let _g = serial();
+        let session = HistorySession::arm();
+        let out = crate::Sim::new(2).run(|lane| {
+            let t0 = crate::now();
+            crate::charge_cycles(10);
+            record(9, lane as u64, 0, t0, crate::now());
+            flush();
+        });
+        assert_eq!(out.per_thread.len(), 2);
+        let raw = session.drain();
+        assert_eq!(raw.lost_threads, 0);
+        let lanes: Vec<Option<usize>> = raw.threads.iter().map(|t| t.lane).collect();
+        assert!(lanes.contains(&Some(0)) && lanes.contains(&Some(1)), "{lanes:?}");
+        for t in &raw.threads {
+            assert!(t.ops.iter().all(|o| o.res >= o.inv));
+        }
+    }
+}

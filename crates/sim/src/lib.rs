@@ -30,6 +30,9 @@
 //!   trace-event JSON (Perfetto-loadable) or a terminal span summary.
 //! * [`hist`] — log2-bucketed latency histograms (p50/p90/p99/max in
 //!   virtual cycles) recorded by the bench drivers.
+//! * [`history`] — operation-history recording (invocation/response with
+//!   virtual timestamps) consumed by the `pto-check` linearizability
+//!   checker.
 //! * [`json`] — a minimal JSON reader backing the trace validator.
 //!
 //! The whole workspace builds hermetically: these modules exist precisely so
@@ -41,6 +44,7 @@
 pub mod clock;
 pub mod cost;
 pub mod hist;
+pub mod history;
 pub mod json;
 pub mod pad;
 pub mod proptest;

@@ -4,6 +4,56 @@
 //! randomness without pulling the full `rand` stack into every crate;
 //! benchmark workloads in `pto-bench` use `rand` proper.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The golden-ratio Weyl increment: coprime to 2^64, so stepping a counter
+/// by it visits every 64-bit value before repeating and consecutive seeds
+/// are far apart in Hamming distance.
+pub const WEYL_STEP: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A process-global Weyl sequence of per-thread RNG seeds.
+///
+/// Several sites (HTM chaos injection, skiplist tower heights, mound leaf
+/// probes, policy backoff jitter, the lincheck explorer) need one distinct,
+/// reproducible seed per thread. Seeding from a `thread_local!` static's
+/// address is wrong twice over: the `LocalKey` is one process-global object
+/// (every thread would get the *same* seed, perfectly correlating their
+/// draws), and addresses vary run to run. A shared counter stepped by
+/// [`WEYL_STEP`] gives each thread a unique seed that depends only on
+/// first-use order.
+///
+/// ```
+/// use pto_sim::rng::{WeylSeq, XorShift64};
+///
+/// static SEEDS: WeylSeq = WeylSeq::new(0x1234_5678);
+/// let mut rng = XorShift64::new(SEEDS.next_seed());
+/// let _ = rng.next_u64();
+/// ```
+pub struct WeylSeq {
+    state: AtomicU64,
+}
+
+impl WeylSeq {
+    /// A sequence starting at `origin` (use a per-site constant so distinct
+    /// sites draw from distinct streams).
+    pub const fn new(origin: u64) -> Self {
+        WeylSeq {
+            state: AtomicU64::new(origin),
+        }
+    }
+
+    /// The next seed in the sequence. Never returns zero (xorshift's fixed
+    /// point): the rare zero step is remapped to [`WEYL_STEP`] itself.
+    pub fn next_seed(&self) -> u64 {
+        let s = self.state.fetch_add(WEYL_STEP, Ordering::Relaxed);
+        if s == 0 {
+            WEYL_STEP
+        } else {
+            s
+        }
+    }
+}
+
 /// xorshift64* — 8 bytes of state, passes BigCrush's small set, more than
 /// adequate for geometric level draws and workload mixing.
 #[derive(Clone, Debug)]
@@ -50,6 +100,34 @@ impl XorShift64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weyl_seq_yields_distinct_nonzero_seeds() {
+        let seq = WeylSeq::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            let s = seq.next_seed();
+            assert_ne!(s, 0, "WeylSeq must never emit xorshift's fixed point");
+            assert!(seen.insert(s), "WeylSeq repeated a seed");
+        }
+    }
+
+    #[test]
+    fn weyl_seq_zero_origin_is_remapped() {
+        let seq = WeylSeq::new(0);
+        assert_eq!(seq.next_seed(), WEYL_STEP);
+        assert_eq!(seq.next_seed(), WEYL_STEP);
+        assert_eq!(seq.next_seed(), WEYL_STEP.wrapping_mul(2));
+    }
+
+    #[test]
+    fn weyl_seq_is_first_use_order_deterministic() {
+        let a = WeylSeq::new(42);
+        let b = WeylSeq::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
 
     #[test]
     fn zero_seed_is_remapped() {

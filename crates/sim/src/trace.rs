@@ -246,6 +246,18 @@ impl TraceSession {
     }
 
     /// Disarm and collect everything recorded since arming.
+    ///
+    /// **Draining while worker threads are still running loses their
+    /// buffers.** A live thread's track is parked into the collector only
+    /// when the thread exits (or its clock resets); a drain racing a
+    /// running worker disarms recording but collects none of that worker's
+    /// events — they are silently discarded when the worker finally exits
+    /// into the (by then stale) session. This is by design: the hot path
+    /// takes no lock, so drain cannot steal live thread-local buffers.
+    /// Always drain from the harness thread *after* `Sim::run` (which joins
+    /// its scoped workers) or after `std::thread::scope` returns —
+    /// `mid_run_drain_loses_live_thread_buffers` in this module's tests
+    /// pins the exact behavior.
     pub fn drain(self) -> Trace {
         ARMED.store(false, Ordering::SeqCst);
         // Flush the draining thread's own buffer (prefill or direct calls
@@ -805,6 +817,72 @@ mod tests {
         assert_eq!(check.complete_spans, 1);
         assert_eq!(check.tracks, 2);
         assert_eq!(check.dropped_reported, 3);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_fields() {
+        // Missing name.
+        let no_name = r#"{"traceEvents":[{"ph":"i","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome(no_name).unwrap_err().contains("missing name"));
+        // Missing ph.
+        let no_ph = r#"{"traceEvents":[{"name":"a","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome(no_ph).unwrap_err().contains("missing ph"));
+        // Missing pid / tid.
+        let no_pid = r#"{"traceEvents":[{"name":"a","ph":"i","tid":0,"ts":1}]}"#;
+        assert!(validate_chrome(no_pid).unwrap_err().contains("missing pid"));
+        let no_tid = r#"{"traceEvents":[{"name":"a","ph":"i","pid":1,"ts":1}]}"#;
+        assert!(validate_chrome(no_tid).unwrap_err().contains("missing tid"));
+        // Unknown phase letter.
+        let bad_ph = r#"{"traceEvents":[{"name":"a","ph":"Z","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome(bad_ph).unwrap_err().contains("unknown phase"));
+        // Non-metadata event without ts.
+        let no_ts = r#"{"traceEvents":[{"name":"a","ph":"B","pid":1,"tid":0}]}"#;
+        assert!(validate_chrome(no_ts).unwrap_err().contains("missing ts"));
+        // Metadata events are exempt from ts.
+        let meta_only = r#"{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":0}]}"#;
+        assert_eq!(validate_chrome(meta_only).unwrap().events, 1);
+        // trace_dropped counter without its args payload.
+        let bad_drop =
+            r#"{"traceEvents":[{"name":"trace_dropped","ph":"C","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome(bad_drop)
+            .unwrap_err()
+            .contains("without args.dropped"));
+    }
+
+    #[test]
+    fn mid_run_drain_loses_live_thread_buffers() {
+        // Pins the documented drain-while-armed behavior: a drain that
+        // races a still-running worker collects nothing from it, and the
+        // worker's buffer does not leak into a later session either.
+        let _g = serial();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (go_tx, go_rx) = std::sync::mpsc::channel();
+        let session = TraceSession::arm();
+        emit(EventKind::EpochAdvance { epoch: 494_949 });
+        let worker = std::thread::spawn(move || {
+            emit(EventKind::TxBegin { rv: 21 });
+            ready_tx.send(()).unwrap();
+            // Stay alive across the drain.
+            go_rx.recv().unwrap();
+            // Post-drain emits are no-ops (disarmed).
+            emit(EventKind::TxBegin { rv: 22 });
+        });
+        ready_rx.recv().unwrap();
+        let trace = session.drain(); // worker still running
+        assert!(
+            trace.any(|k| k == EventKind::EpochAdvance { epoch: 494_949 }),
+            "draining thread's own buffer must be collected"
+        );
+        assert!(
+            !trace.any(|k| k == EventKind::TxBegin { rv: 21 }),
+            "a live worker's buffer must NOT appear in a mid-run drain"
+        );
+        go_tx.send(()).unwrap();
+        worker.join().unwrap();
+        // The worker's stale buffer was parked on exit into the drained
+        // session; a fresh session must not resurrect it.
+        let t2 = TraceSession::arm().drain();
+        assert!(!t2.any(|k| matches!(k, EventKind::TxBegin { .. })));
     }
 
     #[test]

@@ -80,18 +80,13 @@ impl Default for SkipNode {
     }
 }
 
-/// Per-thread seed from a shared Weyl sequence. (Taking the address of the
-/// `thread_local!` static itself would hand every thread the *same* seed —
-/// the `LocalKey` is one process-global object — so all threads would draw
-/// identical tower-height sequences.)
-fn rng_seed() -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static SEED: AtomicU64 = AtomicU64::new(0x6C62_272E_07BB_0142);
-    SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
-}
+/// Per-thread tower-height seeds from a shared Weyl sequence (see
+/// [`pto_sim::rng::WeylSeq`] for why a thread-local's address is the wrong
+/// seed source).
+static RNG_SEEDS: pto_sim::rng::WeylSeq = pto_sim::rng::WeylSeq::new(0x6C62_272E_07BB_0142);
 
 thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(rng_seed()));
+    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(RNG_SEEDS.next_seed()));
 }
 
 /// Whether updates attempt a prefix transaction first.
