@@ -18,5 +18,12 @@ cargo run -q --release -p pto-bench --bin trace_smoke
 echo "== perf smoke: wallclock hot paths + BENCH_sim.json structural check"
 cargo run -q --release -p pto-bench --bin perf_smoke -- --check
 
-echo "== lincheck smoke: linearizability sweep over the variant matrix"
+echo "== lincheck smoke: linearizability sweep, variant cells sharded across cores"
 timeout 30 cargo run -q --release -p pto-bench --bin lincheck -- --smoke
+
+echo "== 64-lane smoke: tournament-gate liveness + dual-profile golden makespans"
+# Gate invariants at server scale (64/256-lane sched tests) and the
+# 64-lane Haswell/NumaIsh golden pair; artifacts already built above, so
+# this re-targets the scale tests by name in seconds.
+cargo test -q -p pto-sim --lib lanes
+cargo test -q --test golden_makespan golden_lane_private_64lane

@@ -8,6 +8,13 @@
 //! [`pto_check::broken::BrokenFifo`] and prints the minimized witness, so
 //! the output also demonstrates what a caught violation looks like.
 //!
+//! Every variant is one independent cell: exploration is fully scoped
+//! (history, abort injection, HTM/reclamation stats, RNG stream), so the
+//! matrix shards across the [`pto_sim::par`] workers via
+//! [`pto_bench::cells::sweep`] and reports are printed in the fixed matrix
+//! order afterwards — identical output to a sequential `PTO_PAR=1` run on
+//! a multi-core host, just sooner.
+//!
 //! Run modes:
 //!
 //! * default — the full matrix at the acceptance workload (4 lanes,
@@ -18,6 +25,7 @@
 //! Exits non-zero if any variant fails to linearize, any check runs out
 //! of budget, or the broken queue is *not* caught.
 
+use pto_bench::cells;
 use pto_bst::{Bst, BstVariant};
 use pto_check::broken::BrokenFifo;
 use pto_check::explore::{
@@ -32,10 +40,21 @@ use pto_mound::Mound;
 use pto_msqueue::MsQueue;
 use pto_skiplist::{SkipListSet, SkipQueue};
 
-type MakeQui<'a> = &'a dyn Fn() -> Box<dyn Quiescence>;
-type MakeFifo<'a> = &'a dyn Fn() -> Box<dyn FifoQueue>;
-type MakeSet<'a> = &'a dyn Fn() -> Box<dyn ConcurrentSet>;
-type MakePq<'a> = &'a dyn Fn() -> Box<dyn PriorityQueue>;
+/// One cell of the variant matrix. Factories are plain fn pointers so the
+/// job list is `Send + Sync` and can shard across the cell runner.
+enum Kind {
+    Qui(fn() -> Box<dyn Quiescence>, QueryMode),
+    Fifo(fn() -> Box<dyn FifoQueue>, &'static [u64]),
+    Set(fn() -> Box<dyn ConcurrentSet>, &'static [u64]),
+    Pq(fn() -> Box<dyn PriorityQueue>, &'static [u64]),
+    /// The seeded-fault demo: must produce a violation.
+    Broken,
+}
+
+struct Job {
+    name: &'static str,
+    kind: Kind,
+}
 
 struct Tally {
     rows: Vec<(String, ExploreReport)>,
@@ -64,6 +83,10 @@ impl Tally {
     }
 }
 
+const FIFO_PREFILL: [u64; 3] = [1 << 40, 2 << 40, 3 << 40];
+const SET_PREFILL: [u64; 6] = [1, 5, 9, 13, 17, 21];
+const PQ_PREFILL: [u64; 3] = [3, 11, 19];
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let schedules = if smoke { 2 } else { 5 };
@@ -84,79 +107,83 @@ fn main() {
     };
 
     println!(
-        "lincheck: {} lanes x {} ops/lane, {} schedules/variant{}",
+        "lincheck: {} lanes x {} ops/lane, {} schedules/variant, {} workers{}",
         cfg.lanes,
         cfg.ops_per_lane,
         cfg.schedules,
+        pto_sim::par::worker_count(),
         if smoke { " (smoke)" } else { "" },
     );
     println!(
         "  {:<22} {:>9} {:>12} {:>10}   verdict",
         "variant", "schedules", "ops-checked", "q-excluded"
     );
+
+    // The matrix, in print order. Mindicator (quiescence): lock-free and
+    // PTO queries are quiescently consistent by design; TLE queries are
+    // exact. Then the Michael–Scott queue (FIFO); the sets (Harris list,
+    // hash table, skiplist, BST); the priority queues (Mound and the
+    // Lotan–Shavit skiplist queue); and the bug-seeded witness demo.
+    let jobs: Vec<Job> = vec![
+        Job { name: "mindicator/lockfree", kind: Kind::Qui(|| Box::new(LockFreeMindicator::new(8)), QueryMode::Quiescent) },
+        Job { name: "mindicator/pto", kind: Kind::Qui(|| Box::new(PtoMindicator::new(8)), QueryMode::Quiescent) },
+        Job { name: "mindicator/tle", kind: Kind::Qui(|| Box::new(TleMindicator::new(8)), QueryMode::Exact) },
+        Job { name: "qui/tle-generic", kind: Kind::Qui(|| Box::new(pto_check::tle::TleQui::new(8)), QueryMode::Exact) },
+        Job { name: "msqueue/lockfree", kind: Kind::Fifo(|| Box::new(MsQueue::new_lockfree()), &FIFO_PREFILL) },
+        Job { name: "msqueue/pto", kind: Kind::Fifo(|| Box::new(MsQueue::new_pto()), &FIFO_PREFILL) },
+        Job { name: "fifo/tle-generic", kind: Kind::Fifo(|| Box::new(pto_check::tle::TleFifo::new(4096)), &FIFO_PREFILL) },
+        Job { name: "list/lockfree", kind: Kind::Set(|| Box::new(HarrisList::new(ListVariant::LockFree)), &SET_PREFILL) },
+        Job { name: "list/pto-whole", kind: Kind::Set(|| Box::new(HarrisList::new(ListVariant::PtoWhole)), &SET_PREFILL) },
+        Job { name: "list/pto-update", kind: Kind::Set(|| Box::new(HarrisList::new(ListVariant::PtoUpdate)), &SET_PREFILL) },
+        Job { name: "hashtable/lockfree", kind: Kind::Set(|| Box::new(FSetHashTable::new(HashVariant::LockFree, 4)), &SET_PREFILL) },
+        Job { name: "hashtable/pto", kind: Kind::Set(|| Box::new(FSetHashTable::new(HashVariant::Pto, 4)), &SET_PREFILL) },
+        Job { name: "skiplist/lockfree", kind: Kind::Set(|| Box::new(SkipListSet::new_lockfree()), &SET_PREFILL) },
+        Job { name: "skiplist/pto", kind: Kind::Set(|| Box::new(SkipListSet::new_pto()), &SET_PREFILL) },
+        Job { name: "bst/lockfree", kind: Kind::Set(|| Box::new(Bst::new(BstVariant::LockFree)), &SET_PREFILL) },
+        Job { name: "bst/pto1pto2", kind: Kind::Set(|| Box::new(Bst::new(BstVariant::Pto1Pto2)), &SET_PREFILL) },
+        Job { name: "mound/lockfree", kind: Kind::Pq(|| Box::new(Mound::new_lockfree(10)), &PQ_PREFILL) },
+        Job { name: "mound/pto", kind: Kind::Pq(|| Box::new(Mound::new_pto(10)), &PQ_PREFILL) },
+        Job { name: "skipqueue/lockfree", kind: Kind::Pq(|| Box::new(SkipQueue::new_lockfree()), &PQ_PREFILL) },
+        Job { name: "skipqueue/pto", kind: Kind::Pq(|| Box::new(SkipQueue::new_pto()), &PQ_PREFILL) },
+        Job { name: "pq/tle-generic", kind: Kind::Pq(|| Box::new(pto_check::tle::TlePq::new(24)), &PQ_PREFILL) },
+        Job { name: "broken-fifo", kind: Kind::Broken },
+    ];
+
+    let reports = cells::sweep(
+        jobs,
+        |j| cells::cell_key(j.name, 0),
+        |j| {
+            let report = match j.kind {
+                Kind::Qui(make, mode) => {
+                    let c = if mode == QueryMode::Quiescent { &qcfg } else { &cfg };
+                    explore_qui(c, &make, mode)
+                }
+                Kind::Fifo(make, prefill) => explore_fifo(&cfg, &make, prefill),
+                Kind::Set(make, prefill) => explore_set(&cfg, &make, prefill),
+                Kind::Pq(make, prefill) => explore_pq(&cfg, &make, prefill),
+                Kind::Broken => explore_fifo(&cfg, &|| Box::new(BrokenFifo::new()), &[]),
+            };
+            (j.name, report)
+        },
+    );
+
     let mut t = Tally {
         rows: Vec::new(),
         failed: false,
     };
-
-    // Mindicator (quiescence). Lock-free and PTO queries are quiescently
-    // consistent by design; TLE queries are exact.
-    let qui: [(&str, MakeQui, QueryMode); 4] = [
-        ("mindicator/lockfree", &|| Box::new(LockFreeMindicator::new(8)), QueryMode::Quiescent),
-        ("mindicator/pto", &|| Box::new(PtoMindicator::new(8)), QueryMode::Quiescent),
-        ("mindicator/tle", &|| Box::new(TleMindicator::new(8)), QueryMode::Exact),
-        ("qui/tle-generic", &|| Box::new(pto_check::tle::TleQui::new(8)), QueryMode::Exact),
-    ];
-    for (name, make, mode) in qui {
-        let c = if mode == QueryMode::Quiescent { &qcfg } else { &cfg };
-        t.add(name, explore_qui(c, make, mode));
-    }
-
-    // Michael–Scott queue (FIFO).
-    let fifo_prefill = [1 << 40, 2 << 40, 3 << 40];
-    let fifos: [(&str, MakeFifo); 3] = [
-        ("msqueue/lockfree", &|| Box::new(MsQueue::new_lockfree())),
-        ("msqueue/pto", &|| Box::new(MsQueue::new_pto())),
-        ("fifo/tle-generic", &|| Box::new(pto_check::tle::TleFifo::new(4096))),
-    ];
-    for (name, make) in fifos {
-        t.add(name, explore_fifo(&cfg, make, &fifo_prefill));
-    }
-
-    // Sets: Harris list, hash table, skiplist, BST.
-    let set_prefill = [1, 5, 9, 13, 17, 21];
-    let sets: [(&str, MakeSet); 9] = [
-        ("list/lockfree", &|| Box::new(HarrisList::new(ListVariant::LockFree))),
-        ("list/pto-whole", &|| Box::new(HarrisList::new(ListVariant::PtoWhole))),
-        ("list/pto-update", &|| Box::new(HarrisList::new(ListVariant::PtoUpdate))),
-        ("hashtable/lockfree", &|| Box::new(FSetHashTable::new(HashVariant::LockFree, 4))),
-        ("hashtable/pto", &|| Box::new(FSetHashTable::new(HashVariant::Pto, 4))),
-        ("skiplist/lockfree", &|| Box::new(SkipListSet::new_lockfree())),
-        ("skiplist/pto", &|| Box::new(SkipListSet::new_pto())),
-        ("bst/lockfree", &|| Box::new(Bst::new(BstVariant::LockFree))),
-        ("bst/pto1pto2", &|| Box::new(Bst::new(BstVariant::Pto1Pto2))),
-    ];
-    for (name, make) in sets {
-        t.add(name, explore_set(&cfg, make, &set_prefill));
-    }
-
-    // Priority queues: Mound and the Lotan–Shavit skiplist queue.
-    let pq_prefill = [3, 11, 19];
-    let pqs: [(&str, MakePq); 5] = [
-        ("mound/lockfree", &|| Box::new(Mound::new_lockfree(10))),
-        ("mound/pto", &|| Box::new(Mound::new_pto(10))),
-        ("skipqueue/lockfree", &|| Box::new(SkipQueue::new_lockfree())),
-        ("skipqueue/pto", &|| Box::new(SkipQueue::new_pto())),
-        ("pq/tle-generic", &|| Box::new(pto_check::tle::TlePq::new(24))),
-    ];
-    for (name, make) in pqs {
-        t.add(name, explore_pq(&cfg, make, &pq_prefill));
+    let mut broken = None;
+    for out in reports {
+        let (name, report) = out.value;
+        if name == "broken-fifo" {
+            broken = Some(report);
+        } else {
+            t.add(name, report);
+        }
     }
 
     // The bug-seeded queue: must be caught, and its witness must shrink.
     println!("\nwitness demo: BrokenFifo (commit-reorder fault)");
-    let report = explore_fifo(&cfg, &|| Box::new(BrokenFifo::new()), &[]);
-    match report.violation {
+    match broken.expect("broken-fifo cell ran").violation {
         Some(v) => {
             println!(
                 "  caught under schedule {}; minimized to {} ops:",

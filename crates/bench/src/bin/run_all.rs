@@ -1,6 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation (§4) and
 //! print EXPERIMENTS.md-ready tables plus the headline summary (the
 //! abstract's "up to 1.5x at one thread, up to 3x at 8 threads").
+//!
+//! The tables are independent deterministic simulations, so they shard
+//! across the [`pto_sim::par`] worker pool (one cell per table; each
+//! table's (axis, series) probes are additionally scoped, so nothing
+//! bleeds between concurrently-running tables). Output is assembled and
+//! printed in the fixed figure order afterwards — identical text to a
+//! sequential `PTO_PAR=1` run.
 
 use pto_bench::figs;
 use pto_bench::report::Table;
@@ -9,13 +16,11 @@ fn show(t: &Table, name: &str) {
     println!("{}", t.render());
     print!("{}", t.sparklines());
     // Per-series abort-cause and reclamation attribution, measured by the
-    // figure harness through scoped snapshot deltas.
+    // figure harness through per-cell scopes.
     print!("{}", t.render_causes());
     // Per-series operation latency percentiles (virtual cycles).
     print!("{}", t.render_latency());
     println!();
-    pto_htm::reset_stats();
-    pto_mem::counters::reset();
     if let Err(e) = t.write_csv(name) {
         eprintln!("warning: could not write results/{name}.csv: {e}");
     }
@@ -24,82 +29,96 @@ fn show(t: &Table, name: &str) {
     }
 }
 
+/// One sharded unit: a builder producing its named tables, plus whether
+/// the headline speedup tracker should read them.
+struct TableJob {
+    build: fn() -> Vec<(String, Table)>,
+    tracked: bool,
+}
+
+fn named(name: &str, t: Table) -> Vec<(String, Table)> {
+    vec![(name.to_string(), t)]
+}
+
 fn main() {
     println!("PTO reproduction — full evaluation sweep");
     println!("backend: {}", pto_htm::hw::backend_description());
     println!(
-        "ops/thread = {}, trials = {} (set PTO_BENCH_OPS / PTO_BENCH_TRIALS to change)\n",
+        "ops/thread = {}, trials = {}, workers = {} (set PTO_BENCH_OPS / PTO_BENCH_TRIALS / PTO_PAR to change)\n",
         pto_bench::ops_per_thread(),
-        pto_bench::trials()
+        pto_bench::trials(),
+        pto_sim::par::worker_count()
     );
+
+    let jobs: Vec<TableJob> = vec![
+        TableJob { build: || named("fig2a", figs::fig2a()), tracked: true },
+        TableJob { build: || named("fig2b", figs::fig2b()), tracked: true },
+        TableJob {
+            build: || {
+                figs::fig3()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (format!("fig3{}", ['a', 'b', 'c'][i]), t))
+                    .collect()
+            },
+            tracked: true,
+        },
+        TableJob {
+            build: || {
+                figs::fig4()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (format!("fig4{}", ['a', 'b', 'c'][i]), t))
+                    .collect()
+            },
+            tracked: true,
+        },
+        TableJob { build: || named("fig5a", figs::fig5a()), tracked: true },
+        TableJob { build: || named("fig5b", figs::fig5b()), tracked: false },
+        TableJob { build: || named("fig5c", figs::fig5c()), tracked: false },
+        TableJob { build: || named("retry_sweep", figs::retry_sweep()), tracked: false },
+        TableJob { build: || named("ablation_capacity", figs::ablation_capacity()), tracked: false },
+        TableJob { build: || named("ablation_help", figs::ablation_help()), tracked: false },
+        TableJob { build: || named("ablation_granularity", figs::ablation_granularity()), tracked: false },
+        TableJob { build: || named("extra_queue", figs::extra_queue()), tracked: true },
+        TableJob { build: || named("extra_list", figs::extra_list()), tracked: true },
+        TableJob { build: || named("extra_fc", figs::extra_fc()), tracked: false },
+    ];
+
+    let tracked_flags: Vec<bool> = jobs.iter().map(|j| j.tracked).collect();
+    let built = pto_sim::par::map_cells(jobs, |j| (j.build)());
 
     let mut speedup_1t: f64 = 0.0;
     let mut speedup_8t: f64 = 0.0;
-    let mut track = |t: &Table| {
-        // Series 0 is always the lock-free baseline; compare the best PTO
-        // series per row (TLE and fence-kept ablations are also non-base
-        // series, so restrict to names containing "pto").
-        for r in &t.rows {
-            let base = r.values[0];
-            if base <= 0.0 {
-                continue;
+    for (tables, tracked) in built.iter().zip(tracked_flags) {
+        for (name, t) in tables {
+            if tracked {
+                // Series 0 is always the lock-free baseline; compare the
+                // best PTO series per row (TLE and fence-kept ablations
+                // are also non-base series, so restrict to names
+                // containing "pto").
+                for r in &t.rows {
+                    let base = r.values[0];
+                    if base <= 0.0 {
+                        continue;
+                    }
+                    for (i, v) in r.values.iter().enumerate().skip(1) {
+                        if !t.series[i].contains("pto") && !t.series[i].contains("inplace") {
+                            continue;
+                        }
+                        let ratio = v / base;
+                        if r.threads == 1 {
+                            speedup_1t = speedup_1t.max(ratio);
+                        }
+                        if r.threads == 8 {
+                            speedup_8t = speedup_8t.max(ratio);
+                        }
+                    }
+                }
             }
-            for (i, v) in r.values.iter().enumerate().skip(1) {
-                if !t.series[i].contains("pto") && !t.series[i].contains("inplace") {
-                    continue;
-                }
-                let ratio = v / base;
-                if r.threads == 1 {
-                    speedup_1t = speedup_1t.max(ratio);
-                }
-                if r.threads == 8 {
-                    speedup_8t = speedup_8t.max(ratio);
-                }
-            }
+            show(t, name);
         }
-    };
-
-    let t = figs::fig2a();
-    track(&t);
-    show(&t, "fig2a");
-
-    let t = figs::fig2b();
-    track(&t);
-    show(&t, "fig2b");
-
-    for (i, t) in figs::fig3().into_iter().enumerate() {
-        track(&t);
-        show(&t, &format!("fig3{}", ['a', 'b', 'c'][i]));
     }
-
-    for (i, t) in figs::fig4().into_iter().enumerate() {
-        track(&t);
-        show(&t, &format!("fig4{}", ['a', 'b', 'c'][i]));
-    }
-
-    let t = figs::fig5a();
-    track(&t);
-    show(&t, "fig5a");
-
-    let t = figs::fig5b();
-    show(&t, "fig5b");
-
-    let t = figs::fig5c();
-    show(&t, "fig5c");
-
-    show(&figs::retry_sweep(), "retry_sweep");
-    show(&figs::ablation_capacity(), "ablation_capacity");
-    show(&figs::ablation_help(), "ablation_help");
-    show(&figs::ablation_granularity(), "ablation_granularity");
-
-    let t = figs::extra_queue();
-    track(&t);
-    show(&t, "extra_queue");
-    let t = figs::extra_list();
-    track(&t);
-    show(&t, "extra_list");
-    let t = figs::extra_fc();
-    show(&t, "extra_fc");
 
     println!("\n== headline ==");
     println!("best PTO speedup at 1 thread : {speedup_1t:.2}x (paper: up to 1.5x)");

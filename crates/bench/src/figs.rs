@@ -19,20 +19,17 @@ const MOUND_DEPTH: u32 = 16;
 const PQ_RANGE: u64 = 4096;
 const M_RANGE: u64 = 65_536;
 
-/// Measure one (axis, series) cell: run the trials and attribute the HTM
-/// and reclamation events they caused to the cell via scoped snapshot
-/// deltas (exact because a figure's series run sequentially). This is what
-/// fills [`Table::render_causes`]/[`Table::render_causes_by_axis`].
+/// Measure one (axis, series) cell: run the trials under a full scope set
+/// ([`crate::cells::run_scoped`]) so the HTM, reclamation, and latency
+/// events they cause are attributed to the cell exactly — even when other
+/// cells run concurrently on sharded workers. This is what fills
+/// [`Table::render_causes`]/[`Table::render_causes_by_axis`].
 pub fn probe(t: &mut Table, axis: usize, series: &str, tr: u32, f: impl FnMut(u64) -> f64) -> f64 {
-    let h0 = pto_htm::snapshot();
-    let m0 = pto_mem::counters::snapshot();
-    crate::lat::reset();
-    let v = average_trials(tr, f);
-    let htm = pto_htm::snapshot().delta(&h0);
-    let mem = pto_mem::counters::snapshot().delta(&m0);
-    t.push_cause(axis, series, htm, mem);
-    t.push_lat(axis, series, crate::lat::snapshot());
-    v
+    let key = crate::cells::cell_key(series, axis as u64);
+    let out = crate::cells::run_scoped(key, move || average_trials(tr, f));
+    t.push_cause(axis, series, out.htm, out.mem);
+    t.push_lat(axis, series, out.lat);
+    out.value
 }
 
 /// Figure 2(a): Mindicator, 64 leaves, arrive/depart pairs.
@@ -252,50 +249,69 @@ pub fn fig5c() -> Table {
 
 /// §3.1/§4.2 retry-threshold sweep at 8 threads: the paper tuned 3 for the
 /// Mindicator, 4 for the Mound's DCAS, (2, 16) for the composed BST.
+///
+/// Every (attempts, structure) point is an independent deterministic cell,
+/// so the whole grid shards across the [`pto_sim::par`] worker pool —
+/// point-level parallelism, results assembled in axis order afterwards.
 pub fn retry_sweep() -> Table {
     let (ops, tr) = (ops_per_thread(), trials());
     let attempts = [0u32, 1, 2, 3, 4, 6, 8, 16];
+    const SERIES: [&str; 3] = ["mindicator", "mound", "bst-pto2"];
     let mut t = Table::new(
         "RETRY SWEEP — throughput at 8 threads vs prefix attempts (ops/ms)",
-        &["mindicator", "mound", "bst-pto2"],
+        &SERIES,
     );
+    let grid: Vec<(u32, usize)> = attempts
+        .iter()
+        .flat_map(|&a| (0..SERIES.len()).map(move |s| (a, s)))
+        .collect();
+    let cells = crate::cells::sweep(
+        grid,
+        |&(a, s)| crate::cells::cell_key(SERIES[s], a as u64),
+        |&(a, s)| {
+            average_trials(tr, |seed| match s {
+                0 => mbench(
+                    || PtoMindicator::with_policy(64, PtoPolicy::with_attempts(a)),
+                    8,
+                    ops,
+                    M_RANGE,
+                    seed,
+                ),
+                1 => pqbench(
+                    || Mound::new_pto_with(MOUND_DEPTH, PtoPolicy::with_attempts(a)),
+                    8,
+                    ops,
+                    PQ_RANGE,
+                    seed,
+                ),
+                _ => setbench(
+                    || {
+                        Bst::with_policies(
+                            BstVariant::Pto2,
+                            PtoPolicy::with_attempts(a),
+                            PtoPolicy::with_attempts(a),
+                        )
+                    },
+                    8,
+                    ops,
+                    512,
+                    0,
+                    seed,
+                ),
+            })
+        },
+    );
+    let mut cells = cells.into_iter();
     for &a in &attempts {
-        let mi = probe(&mut t, a as usize, "mindicator", tr, |s| {
-            mbench(
-                || PtoMindicator::with_policy(64, PtoPolicy::with_attempts(a)),
-                8,
-                ops,
-                M_RANGE,
-                s,
-            )
-        });
-        let mo = probe(&mut t, a as usize, "mound", tr, |s| {
-            pqbench(
-                || Mound::new_pto_with(MOUND_DEPTH, PtoPolicy::with_attempts(a)),
-                8,
-                ops,
-                PQ_RANGE,
-                s,
-            )
-        });
-        let b = probe(&mut t, a as usize, "bst-pto2", tr, |s| {
-            setbench(
-                || {
-                    Bst::with_policies(
-                        BstVariant::Pto2,
-                        PtoPolicy::with_attempts(a),
-                        PtoPolicy::with_attempts(a),
-                    )
-                },
-                8,
-                ops,
-                512,
-                0,
-                s,
-            )
-        });
+        let mut vals = Vec::with_capacity(SERIES.len());
+        for series in SERIES {
+            let c = cells.next().expect("cell runner lost a sweep point");
+            t.push_cause(a as usize, series, c.htm, c.mem);
+            t.push_lat(a as usize, series, c.lat);
+            vals.push(c.value);
+        }
         // Abuse the threads column for the attempts axis.
-        t.push(a as usize, vec![mi, mo, b]);
+        t.push(a as usize, vals);
     }
     t
 }

@@ -1,17 +1,21 @@
 //! Per-operation latency collection for the bench drivers.
 //!
 //! Each driver wraps its measured-loop operations in a virtual-time stamp
-//! pair and records the elapsed cycles into a process-global log2-bucketed
-//! [`Histogram`] per operation kind. The figure harnesses snapshot (and
-//! reset) these around every (axis, series) cell, so each cell's latency
-//! distribution is exact even though the accumulators are global —
-//! series within a figure run sequentially.
+//! pair and records the elapsed cycles into a log2-bucketed [`Histogram`]
+//! per operation kind. Sequential harnesses snapshot (and reset) the
+//! process-global accumulators around every (axis, series) cell; sharded
+//! harnesses install a [`LatScope`] per cell (context slot
+//! [`ctx::SLOT_LAT`]) so concurrent cells record into their own blocks —
+//! on the installing thread and every `Sim` lane it spawns — and flush
+//! into the globals on drop.
 //!
 //! Recording is two atomic RMWs plus two `fetch_min`/`fetch_max` per
 //! operation and never touches the virtual clock, so latency capture does
 //! not perturb the throughput it accompanies.
 
+use pto_sim::ctx;
 use pto_sim::hist::{HistSnapshot, Histogram};
+use std::sync::Arc;
 
 /// The operation vocabulary across all drivers: set ops (setbench),
 /// priority-queue ops (pqbench), FIFO ops (fifobench), and the
@@ -58,12 +62,74 @@ impl OpKind {
     }
 }
 
+/// One full accumulator block; the process globals and every [`LatScope`]
+/// each own one.
+#[derive(Default)]
+struct Block {
+    hists: [Histogram; 9],
+}
+
 static HISTS: [Histogram; 9] = [const { Histogram::new() }; 9];
 
-/// Record one operation's latency in virtual cycles.
+/// Record one operation's latency in virtual cycles — into the installed
+/// [`LatScope`]'s block if one is set on this thread (directly or
+/// inherited from a spawning cell), else into the process globals.
 #[inline]
 pub fn record(kind: OpKind, cycles: u64) {
+    if ctx::is_set(ctx::SLOT_LAT) {
+        let hit = ctx::with::<Block, _>(ctx::SLOT_LAT, |b| match b {
+            Some(b) => {
+                b.hists[kind as usize].record(cycles);
+                true
+            }
+            None => false,
+        });
+        if hit {
+            return;
+        }
+    }
     HISTS[kind as usize].record(cycles);
+}
+
+/// RAII scope isolating latency histograms for one sweep cell. Read the
+/// cell's own distributions with [`LatScope::snapshot`]; on drop they
+/// flush into the process-global accumulators.
+pub struct LatScope {
+    block: Arc<Block>,
+    _guard: ctx::ScopeGuard,
+}
+
+impl LatScope {
+    /// Install a fresh scope on the current thread.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let block: Arc<Block> = Arc::new(Block::default());
+        let guard = ctx::ScopeGuard::install(
+            ctx::SLOT_LAT,
+            Arc::clone(&block) as Arc<dyn std::any::Any + Send + Sync>,
+        );
+        LatScope {
+            block,
+            _guard: guard,
+        }
+    }
+
+    /// This scope's distributions so far.
+    pub fn snapshot(&self) -> LatSnapshot {
+        let mut s = LatSnapshot::default();
+        for (i, h) in self.block.hists.iter().enumerate() {
+            s.hists[i] = h.snapshot();
+        }
+        s
+    }
+}
+
+impl Drop for LatScope {
+    fn drop(&mut self) {
+        for (global, scoped) in HISTS.iter().zip(&self.block.hists) {
+            global.absorb(&scoped.snapshot());
+        }
+    }
 }
 
 /// The latency distributions of one measurement window: one histogram
@@ -145,6 +211,53 @@ mod tests {
         assert_eq!(m.hists[OpKind::Arrive as usize].count, 2);
         assert_eq!(m.hists[OpKind::Arrive as usize].max, 70);
         assert_eq!(m.hists[OpKind::Depart as usize].count, 1);
+    }
+
+    #[test]
+    fn scope_isolates_and_flushes_on_drop() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let scoped_total;
+        {
+            let scope = LatScope::new();
+            record(OpKind::Push, 64);
+            record(OpKind::Push, 128);
+            let s = scope.snapshot();
+            assert_eq!(s.hists[OpKind::Push as usize].count, 2);
+            // While the scope lives, the globals saw nothing.
+            assert!(snapshot().is_empty(), "scoped records leaked to globals");
+            scoped_total = s;
+        }
+        // After the drop the scope's samples are in the globals.
+        let after = snapshot();
+        assert_eq!(
+            after.hists[OpKind::Push as usize].count,
+            scoped_total.hists[OpKind::Push as usize].count
+        );
+        assert_eq!(after.hists[OpKind::Push as usize].max, 128);
+        reset();
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_bleed() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        std::thread::scope(|s| {
+            for n in 1..=4u64 {
+                s.spawn(move || {
+                    let scope = LatScope::new();
+                    for _ in 0..n {
+                        record(OpKind::Dequeue, n * 10);
+                    }
+                    let snap = scope.snapshot();
+                    assert_eq!(snap.hists[OpKind::Dequeue as usize].count, n);
+                    assert_eq!(snap.hists[OpKind::Dequeue as usize].max, n * 10);
+                });
+            }
+        });
+        // All four scopes flushed: 1+2+3+4 samples in the globals.
+        assert_eq!(snapshot().hists[OpKind::Dequeue as usize].count, 10);
+        reset();
     }
 
     #[test]

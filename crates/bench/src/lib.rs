@@ -20,6 +20,7 @@
 //! `results/`.
 
 pub mod baselines;
+pub mod cells;
 pub mod drivers;
 pub mod figs;
 pub mod lat;

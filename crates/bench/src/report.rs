@@ -143,7 +143,7 @@ impl Table {
         let _ = writeln!(out, "### abort causes — {}", self.title);
         let _ = writeln!(
             out,
-            "{:>16}{:>10}{:>8}{:>10}{:>10}{:>10}{:>8}{:>10}{:>8}{:>8}{:>8}{:>8}",
+            "{:>16}{:>10}{:>8}{:>10}{:>10}{:>10}{:>8}{:>10}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}",
             "series",
             "begins",
             "commit%",
@@ -152,6 +152,8 @@ impl Table {
             "explicit",
             "nested",
             "spurious",
+            "rm-com",
+            "rm-abt",
             "epochs",
             "scans",
             "reclaim",
@@ -161,7 +163,7 @@ impl Table {
             let (htm, mem) = self.merged_for(s);
             let _ = writeln!(
                 out,
-                "{:>16}{:>10}{:>8.1}{:>10}{:>10}{:>10}{:>8}{:>10}{:>8}{:>8}{:>8}{:>8}",
+                "{:>16}{:>10}{:>8.1}{:>10}{:>10}{:>10}{:>8}{:>10}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}",
                 trunc(s, 16),
                 htm.begins,
                 htm.commit_rate() * 100.0,
@@ -170,6 +172,8 @@ impl Table {
                 htm.aborts_explicit,
                 htm.aborts_nested,
                 htm.aborts_spurious,
+                htm.remote_commits,
+                htm.remote_aborts,
                 mem.epoch_advances,
                 mem.hazard_scans,
                 mem.hazard_reclaimed + mem.limbo_reclaimed,
@@ -345,7 +349,7 @@ impl Table {
                 let (h, m) = (&c.htm, &c.mem);
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     c.axis,
                     c.series,
                     h.begins,
@@ -355,6 +359,8 @@ impl Table {
                     h.aborts_explicit,
                     h.aborts_nested,
                     h.aborts_spurious,
+                    h.remote_commits,
+                    h.remote_aborts,
                     m.epoch_advances,
                     m.hazard_scans,
                     m.hazard_reclaimed,
@@ -409,6 +415,8 @@ impl Table {
                     aborts_explicit: parse_field(&mut f, line)?,
                     aborts_nested: parse_field(&mut f, line)?,
                     aborts_spurious: parse_field(&mut f, line)?,
+                    remote_commits: parse_field(&mut f, line)?,
+                    remote_aborts: parse_field(&mut f, line)?,
                 };
                 let mem = pto_mem::MemSnapshot {
                     epoch_advances: parse_field(&mut f, line)?,
@@ -438,8 +446,8 @@ impl Table {
 
 /// Header of the cause section in [`Table::to_csv_string`].
 pub const CAUSE_CSV_HEADER: &str = "axis,series,begins,commits,conflict,capacity,explicit,\
-nested,spurious,epoch_advances,hazard_scans,hazard_reclaimed,limbo_reclaimed,orphans_parked,\
-orphans_drained,lanes_released";
+nested,spurious,remote_commits,remote_aborts,epoch_advances,hazard_scans,hazard_reclaimed,\
+limbo_reclaimed,orphans_parked,orphans_drained,lanes_released";
 
 fn parse_field<'a, T: std::str::FromStr>(
     fields: &mut impl Iterator<Item = &'a str>,
@@ -557,6 +565,8 @@ mod tests {
             aborts_explicit: 2,
             aborts_nested: 0,
             aborts_spurious: 1,
+            remote_commits: 12,
+            remote_aborts: 4,
         };
         let mem = pto_mem::MemSnapshot {
             epoch_advances: 9,

@@ -8,12 +8,18 @@
 //! * **PCT-style priority stalls** — random per-lane virtual-cycle stalls
 //!   injected between operations, which reorder lanes the way a
 //!   priority-based concurrency tester does;
-//! * **deterministic abort injection** — `pto_htm::arm_abort_injection`
+//! * **deterministic abort injection** — `pto_htm::injection_scope`
 //!   kills every p-th would-commit transaction, steering runs into the
 //!   fallback paths and mixed prefix/fallback interleavings that random
 //!   chaos rarely reaches. (Capacity and chaos faults are per-variant:
 //!   construct the structure with a small `write_cap` or a nonzero
 //!   `chaos_abort_pct` and every schedule explores under those faults.)
+//!
+//! Recording and injection are both *scoped* (context-slot guards
+//! inherited by the sim lanes), so explorations of different variants are
+//! independent cells: the sharded `lincheck` harness runs one per
+//! [`pto_sim::par`] worker with nothing process-global shared between
+//! them.
 //!
 //! Every history is decoded and checked against the sequential spec; the
 //! first violation is minimized into an honest witness and exploration
@@ -23,8 +29,7 @@ use crate::record::{decode, RecordedFifo, RecordedPq, RecordedQui, RecordedSet};
 use crate::spec::{FifoSpec, Op, PqSpec, QuiSpec};
 use crate::wgl::{check, check_set_by_key, minimize, CheckOpts, History, SpecKind, Verdict, Witness};
 use pto_core::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence};
-use pto_htm::{arm_abort_injection, disarm_abort_injection};
-use pto_sim::history::HistorySession;
+use pto_sim::history::ScopedHistory;
 use pto_sim::rng::{XorShift64, WEYL_STEP};
 use pto_sim::{charge_cycles, Sim};
 
@@ -136,10 +141,14 @@ fn record_one<F>(cfg: &ExploreCfg, sched: &Schedule, body: F) -> History
 where
     F: Fn(usize, usize, &mut XorShift64) + Sync,
 {
-    let session = HistorySession::arm();
-    if let Some((period, phase)) = sched.inject {
-        arm_abort_injection(period, phase);
-    }
+    // Scoped history + scoped injection: the whole recording is private to
+    // this thread (and the sim lanes it spawns), so explorer cells for
+    // different variants can run concurrently on the cell runner's workers
+    // without sharing the process-global session.
+    let session = ScopedHistory::arm();
+    let _inject = sched
+        .inject
+        .map(|(period, phase)| pto_htm::injection_scope(period, phase));
     let mut sim = Sim::new(cfg.lanes);
     sim.quantum = sched.quantum;
     let stall = &sched.stall;
@@ -157,7 +166,6 @@ where
         }
         pto_sim::history::flush();
     });
-    disarm_abort_injection();
     let raw = session.drain();
     decode(&raw).expect("exploration histories record completely")
 }
@@ -434,8 +442,10 @@ mod tests {
         }
     }
 
-    // Exploration sessions arm process-global machinery (history,
-    // injection); within this crate every explorer caller serializes.
+    // Exploration is scoped (nothing process-global since the sharded
+    // explorer), but each run spawns a multi-lane sim; serializing the
+    // explorer tests keeps this crate's suite from oversubscribing the
+    // small CI hosts with stacked sims.
     pub(crate) fn serial() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())

@@ -25,7 +25,8 @@
 //!   witnesses.
 //! * [`explore`] — the schedule-exploration driver: quantum sweeps,
 //!   PCT-style priority stalls, and deterministic abort injection via
-//!   [`pto_htm::arm_abort_injection`].
+//!   [`pto_htm::injection_scope`] — all scoped per cell, so the sharded
+//!   `lincheck` harness explores variants concurrently.
 //!
 //! Like every `pto-*` crate, this one is hermetic: it depends only on
 //! workspace crates.

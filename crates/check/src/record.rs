@@ -3,8 +3,8 @@
 //!
 //! Each wrapper brackets the forwarded call with two
 //! [`pto_sim::now`] readings (reading the clock charges nothing) and
-//! records `(op code, arg, encoded ret, inv, res)`. With no
-//! [`HistorySession`](pto_sim::history::HistorySession) armed the record
+//! records `(op code, arg, encoded ret, inv, res)`. With no session or
+//! [`ScopedHistory`](pto_sim::history::ScopedHistory) armed the record
 //! call is a single relaxed load, so wrapping a structure perturbs
 //! nothing when recording is off.
 //!

@@ -1,7 +1,6 @@
 //! Retry policies and the PTO executors.
 
 use pto_htm::{transaction_with, AbortCause, CauseCounters, FenceMode, TxOpts, TxResult, Txn};
-use pto_sim::rng::XorShift64;
 use pto_sim::stats::Counter;
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge_n, CostKind};
@@ -30,19 +29,19 @@ pub enum Backoff {
     },
 }
 
-/// Deterministic per-thread seed stream for backoff jitter: each thread's
-/// RNG is seeded from a shared [`pto_sim::rng::WeylSeq`], so runs are
-/// reproducible (thread seeds depend only on first-use order, not
-/// addresses or time).
+/// Deterministic per-lane backoff jitter. Draws come from the
+/// `(site, stream key, gate lane)` stream of [`pto_sim::rng::lane_draw`]:
+/// reproducible per lane regardless of which OS thread runs it, and
+/// uncorrelated across 64–512 lanes (the first-use-order `WeylSeq` scheme
+/// this replaces handed neighbouring lanes seeds on one arithmetic
+/// progression and reseeded differently every run at scale).
 fn backoff_rng_draw(window: u64) -> u64 {
-    use std::cell::RefCell;
-    static SEEDS: pto_sim::rng::WeylSeq =
-        pto_sim::rng::WeylSeq::new(pto_sim::rng::WEYL_STEP);
+    use std::cell::Cell;
+    const SITE: u64 = 0xBAC0_0FF5_0000_0001;
     thread_local! {
-        static RNG: RefCell<XorShift64> =
-            RefCell::new(XorShift64::new(SEEDS.next_seed()));
+        static SLOT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
     }
-    RNG.with(|r| r.borrow_mut().below(window))
+    SLOT.with(|s| pto_sim::rng::lane_draw_below(SITE, s, window))
 }
 
 /// How a PTO'd operation attempts its prefix transaction before falling

@@ -10,11 +10,12 @@
 use crate::stats;
 use crate::txn::{AbortCause, FenceMode, Txn};
 use crate::TxResult;
-use pto_sim::rng::WeylSeq;
+use pto_sim::ctx;
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-attempt configuration.
 #[derive(Clone, Copy, Debug)]
@@ -47,27 +48,21 @@ impl Default for TxOpts {
 
 thread_local! {
     static IN_TXN: Cell<bool> = const { Cell::new(false) };
-    static CHAOS_RNG: Cell<u64> = const { Cell::new(0) };
+    static CHAOS_SLOT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
 }
 
-/// Per-thread seed stream for chaos injection. See [`WeylSeq`] for why a
-/// shared stepped counter (and not a thread-local's address) is the right
-/// seed source: every thread gets a distinct stream, and the streams depend
-/// only on first-use order, so chaos runs are reproducible.
-static CHAOS_SEEDS: WeylSeq = WeylSeq::new(0xC0A0_5EED_0000_0001);
+/// Identity of the chaos-injection draw site (hashed, never used raw).
+const CHAOS_SITE: u64 = 0xC0A0_5EED_0000_0001;
 
-/// Cheap per-thread xorshift draw for failure injection.
+/// Cheap per-lane draw for failure injection. Streams are keyed by
+/// `(site, cell stream key, lane)` via [`pto_sim::rng::lane_draw`], so at
+/// 64–512 lanes every lane flips an independent, reproducible coin — the
+/// old first-use-order Weyl seeding made lane streams depend on OS thread
+/// startup order and correlated at scale.
 fn chaos_strikes(pct: u8) -> bool {
-    CHAOS_RNG.with(|c| {
-        let mut x = c.get();
-        if x == 0 {
-            x = CHAOS_SEEDS.next_seed();
-        }
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        c.set(x);
-        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 57) < (pct as u64 * 128 / 100)
+    CHAOS_SLOT.with(|slot| {
+        let x = pto_sim::rng::lane_draw(CHAOS_SITE, slot);
+        (x >> 57) < (pct as u64 * 128 / 100)
     })
 }
 
@@ -108,18 +103,65 @@ pub fn disarm_abort_injection() {
     INJECT_PERIOD.store(0, Ordering::SeqCst);
 }
 
+/// A scoped injection schedule (context slot [`ctx::SLOT_HTM_INJECT`]).
+struct InjectState {
+    period: u64,
+    phase: u64,
+    attempts: AtomicU64,
+}
+
+/// RAII deterministic abort injection scoped to one cell.
+///
+/// The scheduling contract matches [`arm_abort_injection`] — would-commit
+/// attempt `k` on a simulator lane aborts iff `k % period == phase` — but
+/// the schedule and its attempt counter live in the installing thread's
+/// context (inherited by its `Sim` lanes and `par` jobs), so concurrent
+/// exploration cells each count their *own* attempts. A scoped schedule
+/// takes precedence over the process-global one.
+pub struct InjectionScope {
+    _guard: ctx::ScopeGuard,
+}
+
+/// Install a scoped injection schedule until the returned guard drops.
+/// Panics if `period` is zero.
+pub fn injection_scope(period: u64, phase: u64) -> InjectionScope {
+    assert!(period > 0, "abort-injection period must be positive");
+    let state = Arc::new(InjectState {
+        period,
+        phase: phase % period,
+        attempts: AtomicU64::new(0),
+    });
+    InjectionScope {
+        _guard: ctx::ScopeGuard::install(
+            ctx::SLOT_HTM_INJECT,
+            state as Arc<dyn std::any::Any + Send + Sync>,
+        ),
+    }
+}
+
 #[inline]
 fn injection_strikes() -> bool {
-    let period = INJECT_PERIOD.load(Ordering::Relaxed);
-    if period == 0 {
+    // Hot path: one relaxed load and one thread-local flag check.
+    if INJECT_PERIOD.load(Ordering::Relaxed) == 0 && !ctx::is_set(ctx::SLOT_HTM_INJECT) {
         return false;
     }
-    injection_strikes_armed(period)
+    injection_strikes_armed()
 }
 
 #[cold]
-fn injection_strikes_armed(period: u64) -> bool {
+fn injection_strikes_armed() -> bool {
     if pto_sim::clock::current_lane().is_none() {
+        return false;
+    }
+    // A scoped schedule wins over the process-global hook.
+    let scoped = ctx::with::<InjectState, _>(ctx::SLOT_HTM_INJECT, |st| {
+        st.map(|st| st.attempts.fetch_add(1, Ordering::Relaxed) % st.period == st.phase)
+    });
+    if let Some(hit) = scoped {
+        return hit;
+    }
+    let period = INJECT_PERIOD.load(Ordering::Relaxed);
+    if period == 0 {
         return false;
     }
     let phase = INJECT_PHASE.load(Ordering::Relaxed);
@@ -277,23 +319,50 @@ mod tests {
     }
 
     #[test]
-    fn chaos_sequences_differ_across_threads() {
-        // Regression: seeding every thread's chaos RNG from the same
-        // process-global address made failure injection perfectly
-        // correlated across lanes. Two fresh threads must draw different
-        // 64-flip sequences at 50%.
-        let draw_sequence = || {
-            std::thread::spawn(|| {
-                (0..64).map(|_| chaos_strikes(50)).collect::<Vec<bool>>()
-            })
-            .join()
-            .unwrap()
+    fn chaos_sequences_differ_per_lane_and_reproduce() {
+        // Regression (server-scale RNG audit): chaos streams used to be
+        // seeded by OS-thread first-use order, so lane k's stream changed
+        // run to run and could collide across lanes. Streams are now keyed
+        // by (site, stream key, lane): within one run every lane draws a
+        // distinct 64-flip sequence, and a rerun of the same cell draws
+        // the *same* per-lane sequences.
+        let run = || {
+            let seqs = std::sync::Mutex::new(vec![Vec::new(); 8]);
+            pto_sim::Sim::new(8).run(|lane| {
+                let v: Vec<bool> = (0..64).map(|_| chaos_strikes(50)).collect();
+                seqs.lock().unwrap()[lane] = v;
+            });
+            seqs.into_inner().unwrap()
         };
-        let a = draw_sequence();
-        let b = draw_sequence();
-        assert_ne!(a, b, "two threads drew an identical chaos sequence");
-        // Sanity: at 50% neither sequence is degenerate.
-        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        let a = run();
+        for i in 0..8 {
+            assert!(
+                a[i].iter().any(|&x| x) && a[i].iter().any(|&x| !x),
+                "lane {i} drew a degenerate 50% sequence"
+            );
+            for j in i + 1..8 {
+                assert_ne!(a[i], a[j], "lanes {i} and {j} drew identical chaos");
+            }
+        }
+        let b = run();
+        assert_eq!(a, b, "identical cells drew different chaos sequences");
+    }
+
+    #[test]
+    fn chaos_streams_follow_the_cell_stream_key() {
+        // Two cells with different stream keys draw different chaos even
+        // on the same lanes; the same key reproduces.
+        let run = |key: u64| {
+            let _k = ctx::stream_scope(key);
+            let seqs = std::sync::Mutex::new(vec![Vec::new(); 4]);
+            pto_sim::Sim::new(4).run(|lane| {
+                let v: Vec<bool> = (0..64).map(|_| chaos_strikes(50)).collect();
+                seqs.lock().unwrap()[lane] = v;
+            });
+            seqs.into_inner().unwrap()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     #[test]
@@ -362,6 +431,68 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_injection_panics() {
         arm_abort_injection(0, 0);
+    }
+
+    #[test]
+    fn scoped_injection_strikes_on_schedule() {
+        // No global arming: the scope alone drives the schedule, and its
+        // counter is private, so this test needs no serialization lock.
+        let _scope = injection_scope(3, 1);
+        let w = TxWord::new(0);
+        let outcomes = std::sync::Mutex::new(Vec::new());
+        pto_sim::Sim::new(1).run(|_| {
+            for _ in 0..9 {
+                let ok = transaction(|tx| tx.read(&w)).is_ok();
+                outcomes.lock().unwrap().push(ok);
+            }
+        });
+        let expected = [true, false, true, true, false, true, true, false, true];
+        assert_eq!(outcomes.into_inner().unwrap(), expected);
+    }
+
+    #[test]
+    fn scoped_injection_wins_over_global_and_unwinds() {
+        let _g = inject_serial();
+        arm_abort_injection(1, 0); // global: abort every lane attempt
+        let w = TxWord::new(0);
+        {
+            // Scope with a period no attempt reaches: nothing aborts.
+            let _scope = injection_scope(1_000_000, 999);
+            pto_sim::Sim::new(1).run(|_| {
+                for _ in 0..4 {
+                    assert!(transaction(|tx| tx.read(&w)).is_ok());
+                }
+            });
+        }
+        // Scope gone: the global schedule applies again.
+        pto_sim::Sim::new(1).run(|_| {
+            assert!(transaction(|tx| tx.read(&w)).is_err());
+        });
+        disarm_abort_injection();
+    }
+
+    #[test]
+    fn concurrent_scoped_injections_count_independently() {
+        // Two cells on worker threads, each aborting every 2nd attempt:
+        // with a shared counter the interleaving would skew one cell's
+        // phase; with scoped counters both see the exact pattern.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _scope = injection_scope(2, 1);
+                    let w = TxWord::new(0);
+                    let outcomes = std::sync::Mutex::new(Vec::new());
+                    pto_sim::Sim::new(1).run(|_| {
+                        for _ in 0..8 {
+                            let ok = transaction(|tx| tx.read(&w)).is_ok();
+                            outcomes.lock().unwrap().push(ok);
+                        }
+                    });
+                    let expect = [true, false, true, false, true, false, true, false];
+                    assert_eq!(outcomes.into_inner().unwrap(), expect);
+                });
+            }
+        });
     }
 
     #[test]

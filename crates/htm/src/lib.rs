@@ -36,9 +36,10 @@ mod word;
 pub mod hw;
 
 pub use exec::{
-    arm_abort_injection, disarm_abort_injection, transaction, transaction_with, TxOpts,
+    arm_abort_injection, disarm_abort_injection, injection_scope, transaction, transaction_with,
+    InjectionScope, TxOpts,
 };
-pub use stats::{reset as reset_stats, snapshot, CauseCounters, HtmSnapshot};
+pub use stats::{reset as reset_stats, snapshot, CauseCounters, HtmScope, HtmSnapshot};
 pub use txn::{Abort, AbortCause, FenceMode, TxResult, Txn};
 pub use word::TxWord;
 

@@ -1,19 +1,32 @@
 //! HTM event statistics (begins, commits, aborts by cause).
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * the **process-global** counters behind [`snapshot`]/[`reset`] record
 //!   every transaction attempt in the process; scoped measurements take a
 //!   snapshot before and after a region and diff them with
 //!   [`HtmSnapshot::delta`];
+//! * [`HtmScope`] is a **cell-scoped** counter block (context slot
+//!   [`ctx::SLOT_HTM_STATS`]): while installed, every attempt on the
+//!   installing thread — and on `Sim` lanes / `par` workers it spawns —
+//!   records into the scope instead of the globals, so concurrent sweep
+//!   cells measure independently. The scope's totals flush into the
+//!   globals when it drops, so whole-run summaries still add up;
 //! * [`CauseCounters`] is an embeddable per-*variant* cause block — each
 //!   PTO'd structure (and the TLE baseline) owns one, so several variants
 //!   running in one process report independent abort-cause mixes. This is
 //!   the diagnostic loop the paper used to tune its retry thresholds
 //!   (§3.1, §4.2).
+//!
+//! Commits and aborts additionally bucket by **locality**: an event on a
+//! lane charged a remote-socket cost table (see
+//! [`pto_sim::clock::on_remote_socket`]) also counts as `remote_*`, so
+//! NUMA-profile sweeps can attribute throughput to sockets.
 
 use crate::txn::AbortCause;
+use pto_sim::ctx;
 use pto_sim::stats::Counter;
+use std::sync::Arc;
 
 /// Per-cause abort counters, embeddable in any per-variant stats block
 /// (`PtoStats`, `TleStats`). All increments are relaxed; read with `get()`.
@@ -85,32 +98,172 @@ impl CauseCounters {
     }
 }
 
-static BEGINS: Counter = Counter::new();
-static COMMITS: Counter = Counter::new();
-static ABORT_CONFLICT: Counter = Counter::new();
-static ABORT_CAPACITY: Counter = Counter::new();
-static ABORT_EXPLICIT: Counter = Counter::new();
-static ABORT_NESTED: Counter = Counter::new();
-static ABORT_SPURIOUS: Counter = Counter::new();
+/// One full counter block; the process globals and every [`HtmScope`]
+/// each own one.
+#[derive(Default)]
+struct Block {
+    begins: Counter,
+    commits: Counter,
+    conflict: Counter,
+    capacity: Counter,
+    explicit: Counter,
+    nested: Counter,
+    spurious: Counter,
+    remote_commits: Counter,
+    remote_aborts: Counter,
+}
+
+impl Block {
+    const fn new() -> Self {
+        Block {
+            begins: Counter::new(),
+            commits: Counter::new(),
+            conflict: Counter::new(),
+            capacity: Counter::new(),
+            explicit: Counter::new(),
+            nested: Counter::new(),
+            spurious: Counter::new(),
+            remote_commits: Counter::new(),
+            remote_aborts: Counter::new(),
+        }
+    }
+
+    fn read(&self) -> HtmSnapshot {
+        HtmSnapshot {
+            begins: self.begins.get(),
+            commits: self.commits.get(),
+            aborts_conflict: self.conflict.get(),
+            aborts_capacity: self.capacity.get(),
+            aborts_explicit: self.explicit.get(),
+            aborts_nested: self.nested.get(),
+            aborts_spurious: self.spurious.get(),
+            remote_commits: self.remote_commits.get(),
+            remote_aborts: self.remote_aborts.get(),
+        }
+    }
+
+    fn add(&self, s: &HtmSnapshot) {
+        self.begins.add(s.begins);
+        self.commits.add(s.commits);
+        self.conflict.add(s.aborts_conflict);
+        self.capacity.add(s.aborts_capacity);
+        self.explicit.add(s.aborts_explicit);
+        self.nested.add(s.aborts_nested);
+        self.spurious.add(s.aborts_spurious);
+        self.remote_commits.add(s.remote_commits);
+        self.remote_aborts.add(s.remote_aborts);
+    }
+
+    fn zero(&self) {
+        self.begins.reset();
+        self.commits.reset();
+        self.conflict.reset();
+        self.capacity.reset();
+        self.explicit.reset();
+        self.nested.reset();
+        self.spurious.reset();
+        self.remote_commits.reset();
+        self.remote_aborts.reset();
+    }
+}
+
+static GLOBAL: Block = Block::new();
+
+/// Run `f` against the scoped block if one is installed on this thread
+/// (directly or inherited from a spawning cell); `false` means "record
+/// globally".
+#[inline]
+fn scoped(f: impl FnOnce(&Block)) -> bool {
+    if !ctx::is_set(ctx::SLOT_HTM_STATS) {
+        return false;
+    }
+    ctx::with::<Block, _>(ctx::SLOT_HTM_STATS, |b| match b {
+        Some(b) => {
+            f(b);
+            true
+        }
+        None => false,
+    })
+}
 
 #[inline]
 pub(crate) fn record_begin() {
-    BEGINS.inc();
+    if !scoped(|b| b.begins.inc()) {
+        GLOBAL.begins.inc();
+    }
 }
 
 #[inline]
 pub(crate) fn record_commit() {
-    COMMITS.inc();
+    let remote = pto_sim::clock::on_remote_socket();
+    let bump = |b: &Block| {
+        b.commits.inc();
+        if remote {
+            b.remote_commits.inc();
+        }
+    };
+    if !scoped(bump) {
+        bump(&GLOBAL);
+    }
 }
 
 #[inline]
 pub(crate) fn record_abort(cause: AbortCause) {
-    match cause {
-        AbortCause::Conflict => ABORT_CONFLICT.inc(),
-        AbortCause::Capacity => ABORT_CAPACITY.inc(),
-        AbortCause::Explicit(_) => ABORT_EXPLICIT.inc(),
-        AbortCause::Nested => ABORT_NESTED.inc(),
-        AbortCause::Spurious => ABORT_SPURIOUS.inc(),
+    let remote = pto_sim::clock::on_remote_socket();
+    let bump = |b: &Block| {
+        match cause {
+            AbortCause::Conflict => b.conflict.inc(),
+            AbortCause::Capacity => b.capacity.inc(),
+            AbortCause::Explicit(_) => b.explicit.inc(),
+            AbortCause::Nested => b.nested.inc(),
+            AbortCause::Spurious => b.spurious.inc(),
+        }
+        if remote {
+            b.remote_aborts.inc();
+        }
+    };
+    if !scoped(bump) {
+        bump(&GLOBAL);
+    }
+}
+
+/// RAII scope isolating HTM statistics for one sweep cell.
+///
+/// While alive (on the installing thread and every `Sim` lane or
+/// [`pto_sim::par`] job that inherits its context), transaction events
+/// record into this scope instead of the process globals. Read the cell's
+/// own totals with [`HtmScope::snapshot`]; on drop the totals are flushed
+/// into the globals, so `snapshot()`-based whole-run summaries (e.g. the
+/// retry sweep's) still see every event exactly once.
+pub struct HtmScope {
+    block: Arc<Block>,
+    _guard: ctx::ScopeGuard,
+}
+
+impl HtmScope {
+    /// Install a fresh scope on the current thread.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let block: Arc<Block> = Arc::new(Block::default());
+        let guard = ctx::ScopeGuard::install(
+            ctx::SLOT_HTM_STATS,
+            Arc::clone(&block) as Arc<dyn std::any::Any + Send + Sync>,
+        );
+        HtmScope {
+            block,
+            _guard: guard,
+        }
+    }
+
+    /// This scope's totals so far.
+    pub fn snapshot(&self) -> HtmSnapshot {
+        self.block.read()
+    }
+}
+
+impl Drop for HtmScope {
+    fn drop(&mut self) {
+        GLOBAL.add(&self.block.read());
     }
 }
 
@@ -124,6 +277,10 @@ pub struct HtmSnapshot {
     pub aborts_explicit: u64,
     pub aborts_nested: u64,
     pub aborts_spurious: u64,
+    /// Commits on lanes modeling a remote (non-socket-0) NUMA socket.
+    pub remote_commits: u64,
+    /// Aborts (any cause) on remote-socket lanes.
+    pub remote_aborts: u64,
 }
 
 impl HtmSnapshot {
@@ -157,6 +314,8 @@ impl HtmSnapshot {
             aborts_explicit: self.aborts_explicit.saturating_sub(before.aborts_explicit),
             aborts_nested: self.aborts_nested.saturating_sub(before.aborts_nested),
             aborts_spurious: self.aborts_spurious.saturating_sub(before.aborts_spurious),
+            remote_commits: self.remote_commits.saturating_sub(before.remote_commits),
+            remote_aborts: self.remote_aborts.saturating_sub(before.remote_aborts),
         }
     }
 
@@ -170,33 +329,24 @@ impl HtmSnapshot {
             aborts_explicit: self.aborts_explicit + other.aborts_explicit,
             aborts_nested: self.aborts_nested + other.aborts_nested,
             aborts_spurious: self.aborts_spurious + other.aborts_spurious,
+            remote_commits: self.remote_commits + other.remote_commits,
+            remote_aborts: self.remote_aborts + other.remote_aborts,
         }
     }
 }
 
-/// Read the current counters.
+/// Read the current **process-global** counters. Events recorded inside a
+/// live [`HtmScope`] are not visible here until that scope drops (and
+/// flushes).
 pub fn snapshot() -> HtmSnapshot {
-    HtmSnapshot {
-        begins: BEGINS.get(),
-        commits: COMMITS.get(),
-        aborts_conflict: ABORT_CONFLICT.get(),
-        aborts_capacity: ABORT_CAPACITY.get(),
-        aborts_explicit: ABORT_EXPLICIT.get(),
-        aborts_nested: ABORT_NESTED.get(),
-        aborts_spurious: ABORT_SPURIOUS.get(),
-    }
+    GLOBAL.read()
 }
 
-/// Zero all counters (benchmark harness use; racy with concurrent
-/// transactions by design — call between runs).
+/// Zero the global counters (benchmark harness use; racy with concurrent
+/// transactions by design — call between runs). Live scopes are
+/// unaffected.
 pub fn reset() {
-    BEGINS.reset();
-    COMMITS.reset();
-    ABORT_CONFLICT.reset();
-    ABORT_CAPACITY.reset();
-    ABORT_EXPLICIT.reset();
-    ABORT_NESTED.reset();
-    ABORT_SPURIOUS.reset();
+    GLOBAL.zero();
 }
 
 #[cfg(test)]
@@ -217,8 +367,7 @@ mod tests {
             aborts_conflict: 1,
             aborts_capacity: 2,
             aborts_explicit: 3,
-            aborts_nested: 0,
-            aborts_spurious: 0,
+            ..Default::default()
         };
         assert_eq!(s.total_aborts(), 6);
         assert!((s.commit_rate() - 0.4).abs() < 1e-12);
@@ -263,6 +412,85 @@ mod tests {
         let m = a.merge(&b);
         assert_eq!(m.begins, 7);
         assert_eq!(m.aborts_capacity, 3);
+    }
+
+    #[test]
+    fn scope_isolates_and_flushes_on_drop() {
+        let outside_before = snapshot();
+        let scoped_total;
+        {
+            let scope = HtmScope::new();
+            let w = crate::TxWord::new(0);
+            let _ = crate::transaction(|tx| tx.read(&w));
+            let _: Result<(), _> = crate::transaction(|tx| Err(tx.abort(1)));
+            let s = scope.snapshot();
+            assert_eq!(s.commits, 1);
+            assert_eq!(s.aborts_explicit, 1);
+            assert!(s.begins >= 2);
+            scoped_total = s;
+            // Isolation from the globals while the scope lives is asserted
+            // by `concurrent_scopes_do_not_bleed` (other tests in this
+            // binary mutate the globals concurrently, so a global delta
+            // here would be flaky in either direction).
+        }
+        // After the drop the scope's totals are in the globals.
+        let after = snapshot().delta(&outside_before);
+        assert!(after.commits >= scoped_total.commits);
+        assert!(after.aborts_explicit >= scoped_total.aborts_explicit);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_bleed() {
+        // Two threads, each with its own scope and its own abort mix,
+        // must observe exactly their own counts.
+        std::thread::scope(|s| {
+            for code in 1..=4u64 {
+                s.spawn(move || {
+                    let scope = HtmScope::new();
+                    let w = crate::TxWord::new(0);
+                    for _ in 0..code {
+                        let _: Result<(), _> =
+                            crate::transaction(|tx| Err(tx.abort(code as u8)));
+                    }
+                    let _ = crate::transaction(|tx| tx.read(&w));
+                    let snap = scope.snapshot();
+                    assert_eq!(snap.aborts_explicit, code, "foreign aborts leaked in");
+                    assert_eq!(snap.commits, 1);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sim_lanes_record_into_the_spawners_scope() {
+        let scope = HtmScope::new();
+        let w = crate::TxWord::new(0);
+        pto_sim::Sim::new(4).run(|_| {
+            let _ = crate::transaction(|tx| tx.read(&w));
+        });
+        let s = scope.snapshot();
+        assert_eq!(s.begins, s.commits + s.total_aborts());
+        assert_eq!(s.commits + s.total_aborts(), 4);
+    }
+
+    #[test]
+    fn remote_lanes_bucket_commits_by_socket() {
+        use pto_sim::{CostProfile, Sim};
+        let scope = HtmScope::new();
+        let w = crate::TxWord::new(0);
+        // 16 NumaIsh lanes: lanes 0-7 are socket 0 (local), 8-15 remote.
+        Sim::new(16)
+            .with_profile(CostProfile::NumaIsh)
+            .run(|_| {
+                let _ = crate::transaction(|tx| tx.read(&w));
+            });
+        let s = scope.snapshot();
+        assert_eq!(s.commits + s.total_aborts(), 16);
+        assert_eq!(
+            s.remote_commits + s.remote_aborts,
+            8,
+            "exactly the 8 off-socket lanes must tag remote: {s:?}"
+        );
     }
 
     #[test]

@@ -3,53 +3,174 @@
 //!
 //! The PTO benches attribute these to a variant the same way they attribute
 //! HTM events: take a [`snapshot`] before a scoped region, another after,
-//! and diff them with [`MemSnapshot::delta`]. The counters are deliberately
+//! and diff them with [`MemSnapshot::delta`] — or, when sweep cells run
+//! concurrently on a worker pool, install a [`MemScope`] per cell (context
+//! slot [`ctx::SLOT_MEM`]) so each cell's events record into its own block
+//! and flush into the globals on drop. The counters are deliberately
 //! cheap (relaxed, cache-padded) and are *not* part of the cost model —
 //! they observe the reclamation machinery, they do not charge for it.
 
+use pto_sim::ctx;
 use pto_sim::stats::Counter;
+use std::sync::Arc;
 
-static EPOCH_ADVANCES: Counter = Counter::new();
-static HAZARD_SCANS: Counter = Counter::new();
-static HAZARD_RECLAIMED: Counter = Counter::new();
-static ORPHANS_PARKED: Counter = Counter::new();
-static ORPHANS_DRAINED: Counter = Counter::new();
-static LANES_RELEASED: Counter = Counter::new();
-static LIMBO_RECLAIMED: Counter = Counter::new();
+/// One full counter block; the process globals and every [`MemScope`]
+/// each own one.
+#[derive(Default)]
+struct Block {
+    epoch_advances: Counter,
+    hazard_scans: Counter,
+    hazard_reclaimed: Counter,
+    orphans_parked: Counter,
+    orphans_drained: Counter,
+    lanes_released: Counter,
+    limbo_reclaimed: Counter,
+}
+
+impl Block {
+    const fn new() -> Self {
+        Block {
+            epoch_advances: Counter::new(),
+            hazard_scans: Counter::new(),
+            hazard_reclaimed: Counter::new(),
+            orphans_parked: Counter::new(),
+            orphans_drained: Counter::new(),
+            lanes_released: Counter::new(),
+            limbo_reclaimed: Counter::new(),
+        }
+    }
+
+    fn read(&self) -> MemSnapshot {
+        MemSnapshot {
+            epoch_advances: self.epoch_advances.get(),
+            hazard_scans: self.hazard_scans.get(),
+            hazard_reclaimed: self.hazard_reclaimed.get(),
+            orphans_parked: self.orphans_parked.get(),
+            orphans_drained: self.orphans_drained.get(),
+            lanes_released: self.lanes_released.get(),
+            limbo_reclaimed: self.limbo_reclaimed.get(),
+        }
+    }
+
+    fn add(&self, s: &MemSnapshot) {
+        self.epoch_advances.add(s.epoch_advances);
+        self.hazard_scans.add(s.hazard_scans);
+        self.hazard_reclaimed.add(s.hazard_reclaimed);
+        self.orphans_parked.add(s.orphans_parked);
+        self.orphans_drained.add(s.orphans_drained);
+        self.lanes_released.add(s.lanes_released);
+        self.limbo_reclaimed.add(s.limbo_reclaimed);
+    }
+
+    fn zero(&self) {
+        self.epoch_advances.reset();
+        self.hazard_scans.reset();
+        self.hazard_reclaimed.reset();
+        self.orphans_parked.reset();
+        self.orphans_drained.reset();
+        self.lanes_released.reset();
+        self.limbo_reclaimed.reset();
+    }
+}
+
+static GLOBAL: Block = Block::new();
+
+/// Run `f` against the scoped block if one is installed on this thread
+/// (directly or inherited from a spawning cell); `false` means "record
+/// globally".
+#[inline]
+fn scoped(f: impl FnOnce(&Block)) -> bool {
+    if !ctx::is_set(ctx::SLOT_MEM) {
+        return false;
+    }
+    ctx::with::<Block, _>(ctx::SLOT_MEM, |b| match b {
+        Some(b) => {
+            f(b);
+            true
+        }
+        None => false,
+    })
+}
+
+#[inline]
+fn record(f: impl Fn(&Block)) {
+    if !scoped(&f) {
+        f(&GLOBAL);
+    }
+}
 
 #[inline]
 pub(crate) fn record_epoch_advance() {
-    EPOCH_ADVANCES.inc();
+    record(|b| b.epoch_advances.inc());
 }
 
 #[inline]
 pub(crate) fn record_hazard_scan() {
-    HAZARD_SCANS.inc();
+    record(|b| b.hazard_scans.inc());
 }
 
 #[inline]
 pub(crate) fn record_hazard_reclaimed(n: u64) {
-    HAZARD_RECLAIMED.add(n);
+    record(|b| b.hazard_reclaimed.add(n));
 }
 
 #[inline]
 pub(crate) fn record_orphans_parked(n: u64) {
-    ORPHANS_PARKED.add(n);
+    record(|b| b.orphans_parked.add(n));
 }
 
 #[inline]
 pub(crate) fn record_orphans_drained(n: u64) {
-    ORPHANS_DRAINED.add(n);
+    record(|b| b.orphans_drained.add(n));
 }
 
 #[inline]
 pub(crate) fn record_lane_released() {
-    LANES_RELEASED.inc();
+    record(|b| b.lanes_released.inc());
 }
 
 #[inline]
 pub(crate) fn record_limbo_reclaimed(n: u64) {
-    LIMBO_RECLAIMED.add(n);
+    record(|b| b.limbo_reclaimed.add(n));
+}
+
+/// RAII scope isolating reclamation statistics for one sweep cell.
+///
+/// While alive (on the installing thread and every `Sim` lane or
+/// [`pto_sim::par`] job that inherits its context), reclamation events
+/// record into this scope instead of the process globals. Read the cell's
+/// own totals with [`MemScope::snapshot`]; on drop the totals flush into
+/// the globals, so whole-run summaries still see every event exactly once.
+pub struct MemScope {
+    block: Arc<Block>,
+    _guard: ctx::ScopeGuard,
+}
+
+impl MemScope {
+    /// Install a fresh scope on the current thread.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let block: Arc<Block> = Arc::new(Block::default());
+        let guard = ctx::ScopeGuard::install(
+            ctx::SLOT_MEM,
+            Arc::clone(&block) as Arc<dyn std::any::Any + Send + Sync>,
+        );
+        MemScope {
+            block,
+            _guard: guard,
+        }
+    }
+
+    /// This scope's totals so far.
+    pub fn snapshot(&self) -> MemSnapshot {
+        self.block.read()
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        GLOBAL.add(&self.block.read());
+    }
 }
 
 /// A point-in-time copy of the reclamation counters.
@@ -99,29 +220,17 @@ impl MemSnapshot {
     }
 }
 
-/// Read the current counters.
+/// Read the current **process-global** counters. Events recorded inside a
+/// live [`MemScope`] are not visible here until that scope drops (and
+/// flushes).
 pub fn snapshot() -> MemSnapshot {
-    MemSnapshot {
-        epoch_advances: EPOCH_ADVANCES.get(),
-        hazard_scans: HAZARD_SCANS.get(),
-        hazard_reclaimed: HAZARD_RECLAIMED.get(),
-        orphans_parked: ORPHANS_PARKED.get(),
-        orphans_drained: ORPHANS_DRAINED.get(),
-        lanes_released: LANES_RELEASED.get(),
-        limbo_reclaimed: LIMBO_RECLAIMED.get(),
-    }
+    GLOBAL.read()
 }
 
-/// Zero all counters (benchmark harness use; racy with concurrent
-/// reclamation by design — call between runs).
+/// Zero the global counters (benchmark harness use; racy with concurrent
+/// reclamation by design — call between runs). Live scopes are unaffected.
 pub fn reset() {
-    EPOCH_ADVANCES.reset();
-    HAZARD_SCANS.reset();
-    HAZARD_RECLAIMED.reset();
-    ORPHANS_PARKED.reset();
-    ORPHANS_DRAINED.reset();
-    LANES_RELEASED.reset();
-    LIMBO_RECLAIMED.reset();
+    GLOBAL.zero();
 }
 
 #[cfg(test)]
@@ -150,6 +259,42 @@ mod tests {
         let m = a.merge(&b);
         assert_eq!(m.epoch_advances, 14);
         assert_eq!(m.hazard_reclaimed, 7);
+    }
+
+    #[test]
+    fn scope_isolates_and_flushes_on_drop() {
+        let before = snapshot();
+        let scoped_total;
+        {
+            let scope = MemScope::new();
+            record_hazard_scan();
+            record_hazard_reclaimed(5);
+            let s = scope.snapshot();
+            assert_eq!(s.hazard_scans, 1);
+            assert_eq!(s.hazard_reclaimed, 5);
+            scoped_total = s;
+        }
+        // After the drop the scope's totals are in the globals (other
+        // tests may add more concurrently, hence >=).
+        let after = snapshot().delta(&before);
+        assert!(after.hazard_scans >= scoped_total.hazard_scans);
+        assert!(after.hazard_reclaimed >= scoped_total.hazard_reclaimed);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_bleed() {
+        std::thread::scope(|s| {
+            for n in 1..=4u64 {
+                s.spawn(move || {
+                    let scope = MemScope::new();
+                    record_orphans_parked(n);
+                    record_epoch_advance();
+                    let snap = scope.snapshot();
+                    assert_eq!(snap.orphans_parked, n, "foreign events leaked in");
+                    assert_eq!(snap.epoch_advances, 1);
+                });
+            }
+        });
     }
 
     #[test]

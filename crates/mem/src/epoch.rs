@@ -14,33 +14,44 @@
 //! charges `EpochUnpin`. PTO fast paths do not pin at all; see the crate
 //! docs for why that is safe on this substrate.
 
+use crate::lazyslots::{self, LazySlots};
 use pto_sim::pad::CachePadded;
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Maximum simultaneously registered threads (the paper uses ≤ 8; tests
-/// spawn more, and slots are leased and recycled on thread exit).
-pub const MAX_THREADS: usize = 128;
+/// Maximum simultaneously registered threads (the paper uses ≤ 8; the
+/// server-scale sweeps run up to 512 lanes plus harness threads, and slots
+/// are leased and recycled on thread exit). The registry is segmented and
+/// lazily allocated, so small runs only ever materialize (and scan) the
+/// first 128 slots.
+pub const MAX_THREADS: usize = lazyslots::CAPACITY;
 
 /// Epoch distance (in advances of 2) before a retired slot may recycle.
 const GRACE_ADVANCES: u64 = 2;
 
 static GLOBAL: AtomicU64 = AtomicU64::new(2);
 
-struct Registry {
-    announce: [CachePadded<AtomicU64>; MAX_THREADS],
-    claimed: [AtomicBool; MAX_THREADS],
+/// One registry slot: the pinned-epoch announcement plus the lease flag,
+/// padded together so neighbouring threads never share a line.
+#[derive(Default)]
+struct Slot {
+    announce: AtomicU64,
+    claimed: AtomicBool,
 }
 
+struct Registry {
+    slots: LazySlots<CachePadded<Slot>>,
+}
+
+static REGISTRY: Registry = Registry {
+    slots: LazySlots::new(),
+};
+
+#[inline]
 fn registry() -> &'static Registry {
-    use std::sync::OnceLock;
-    static R: OnceLock<Registry> = OnceLock::new();
-    R.get_or_init(|| Registry {
-        announce: std::array::from_fn(|_| CachePadded::new(AtomicU64::new(0))),
-        claimed: std::array::from_fn(|_| AtomicBool::new(false)),
-    })
+    &REGISTRY
 }
 
 struct SlotLease {
@@ -52,9 +63,9 @@ impl Drop for SlotLease {
     fn drop(&mut self) {
         let slot = self.slot.get();
         if slot != usize::MAX {
-            let r = registry();
-            r.announce[slot].store(0, Ordering::Release);
-            r.claimed[slot].store(false, Ordering::Release);
+            let s = registry().slots.slot(slot);
+            s.announce.store(0, Ordering::Release);
+            s.claimed.store(false, Ordering::Release);
         }
     }
 }
@@ -74,15 +85,22 @@ fn my_slot() -> usize {
         if s != usize::MAX {
             return s;
         }
+        // Scan segment by segment: a segment is only materialized once
+        // every earlier one scanned full, so ≤128 live threads never
+        // allocate (or later scan) beyond the first segment.
         let r = registry();
-        for i in 0..MAX_THREADS {
-            if !r.claimed[i].load(Ordering::Acquire)
-                && r.claimed[i]
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-            {
-                l.slot.set(i);
-                return i;
+        for seg in 0..lazyslots::NUM_SEGS {
+            let (base, slots) = r.slots.segment(seg);
+            for (off, cell) in slots.iter().enumerate() {
+                if !cell.claimed.load(Ordering::Acquire)
+                    && cell
+                        .claimed
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    l.slot.set(base + off);
+                    return base + off;
+                }
             }
         }
         panic!("epoch registry exhausted: more than {MAX_THREADS} live threads");
@@ -107,7 +125,7 @@ pub struct Guard {
 impl Guard {
     /// The epoch this thread is pinned at.
     pub fn epoch(&self) -> u64 {
-        registry().announce[self.slot].load(Ordering::Relaxed) & !1
+        registry().slots.slot(self.slot).announce.load(Ordering::Relaxed) & !1
     }
 }
 
@@ -118,7 +136,11 @@ impl Drop for Guard {
             l.depth.set(d);
             if d == 0 {
                 charge(CostKind::EpochUnpin);
-                registry().announce[self.slot].store(0, Ordering::Release);
+                registry()
+                    .slots
+                    .slot(self.slot)
+                    .announce
+                    .store(0, Ordering::Release);
                 trace::emit(EventKind::EpochUnpin);
             }
         });
@@ -158,11 +180,11 @@ pub fn pin() -> Guard {
         l.depth.set(d + 1);
         if d == 0 {
             charge(CostKind::EpochPin);
-            let r = registry();
+            let announce = &registry().slots.slot(slot).announce;
             let mut e = GLOBAL.load(Ordering::Acquire);
             pause_before_announce();
             loop {
-                r.announce[slot].store(e | 1, Ordering::SeqCst);
+                announce.store(e | 1, Ordering::SeqCst);
                 // Once the announcement is visible the global epoch can
                 // advance at most one step past it; re-read to make sure
                 // we did not announce an epoch that had already been left
@@ -190,8 +212,12 @@ pub fn current() -> u64 {
 pub fn try_advance() -> bool {
     let r = registry();
     let e = GLOBAL.load(Ordering::Acquire);
-    for a in r.announce.iter() {
-        let v = a.load(Ordering::Acquire);
+    // Only allocated registry segments are scanned: a slot in an
+    // unallocated segment was never claimed, so it cannot hold a pin. This
+    // keeps the advance O(live slots) — 128 loads for ≤128-thread runs,
+    // exactly the pre-segmentation cost — rather than O(MAX_THREADS).
+    for s in r.slots.iter() {
+        let v = s.announce.load(Ordering::Acquire);
         if v & 1 == 1 && (v & !1) != e {
             return false;
         }
@@ -334,6 +360,44 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn more_than_128_threads_hold_pins_simultaneously() {
+        // Regression for the server-scale lane cap: the registry used to be
+        // a flat 128-slot table and the 129th live thread panicked. Now the
+        // lazily-segmented table grows to 1024; 160 threads all pinned at
+        // once must each get a distinct slot, and their pins must actually
+        // participate in the protocol (a stale one blocks advance).
+        use std::sync::Barrier;
+        const N: usize = 160;
+        let ready = Barrier::new(N + 1);
+        let release = Barrier::new(N + 1);
+        let oldest = AtomicU64::new(u64::MAX);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                let (ready, release, oldest) = (&ready, &release, &oldest);
+                s.spawn(move || {
+                    let g = pin();
+                    oldest.fetch_min(g.epoch(), Ordering::AcqRel);
+                    ready.wait();
+                    // Hold the pin until the main thread has observed the
+                    // blocked advance.
+                    release.wait();
+                    drop(g);
+                });
+            }
+            ready.wait();
+            // Push the global epoch past the oldest announcement (at most
+            // one advance can succeed with all N pins live), making at
+            // least one pin provably stale: every further advance must
+            // fail until the pins drop.
+            advance_until(oldest.load(Ordering::Acquire) + 2);
+            for _ in 0..100 {
+                assert!(!try_advance(), "advance ignored 160 live pins");
+            }
+            release.wait();
+        });
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! thread's retired slots would leak.
 
 use crate::counters;
+use crate::lazyslots::{self, LazySlots};
 use crate::pool::Pool;
 use pto_sim::pad::CachePadded;
 use pto_sim::sync::Mutex;
@@ -31,8 +32,10 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Max threads concurrently registered in one domain.
-pub const MAX_THREADS: usize = 128;
+/// Max threads concurrently registered in one domain. Lanes live in a
+/// lazily-segmented table, so a domain touched by ≤128 threads allocates
+/// (and scans) only the first 128-lane segment.
+pub const MAX_THREADS: usize = lazyslots::CAPACITY;
 /// Hazard slots per thread (the MS queue needs 3: head, tail, next).
 pub const SLOTS_PER_THREAD: usize = 3;
 /// Retired-list length that triggers a reclamation scan.
@@ -40,12 +43,27 @@ const SCAN_THRESHOLD: usize = 64;
 
 const EMPTY: u64 = u64::MAX;
 
+/// One thread's lane: its hazard slots plus the lease flag, padded
+/// together so neighbouring lanes never share a line.
+struct Lane {
+    hazards: [AtomicU64; SLOTS_PER_THREAD],
+    claimed: AtomicBool,
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Lane {
+            hazards: [const { AtomicU64::new(EMPTY) }; SLOTS_PER_THREAD],
+            claimed: AtomicBool::new(false),
+        }
+    }
+}
+
 /// The shared state of a domain. Kept behind an `Arc` so the thread-local
 /// lease guards can still release lanes and park orphans when a thread
 /// exits after the `HazardDomain` owner moved on (or vice versa).
 struct DomainCore {
-    hazards: Box<[CachePadded<AtomicU64>]>,
-    claimed: Box<[AtomicBool]>,
+    lanes: LazySlots<CachePadded<Lane>>,
     /// Retired slots from exited threads, awaiting a scan by anyone.
     orphans: Mutex<Vec<u32>>,
     id: u64,
@@ -75,17 +93,17 @@ struct LeaseSet {
 impl Drop for LeaseSet {
     fn drop(&mut self) {
         for lease in self.leases.borrow_mut().drain(..) {
+            let lane = lease.core.lanes.slot(lease.lane);
             // Clear our hazard slots first so a concurrent scan never sees
             // a stale protection from a dead thread.
-            for k in 0..SLOTS_PER_THREAD {
-                lease.core.hazards[lease.lane * SLOTS_PER_THREAD + k]
-                    .store(EMPTY, Ordering::Release);
+            for h in &lane.hazards {
+                h.store(EMPTY, Ordering::Release);
             }
             if !lease.retired.is_empty() {
                 counters::record_orphans_parked(lease.retired.len() as u64);
                 lease.core.orphans.lock().extend(lease.retired);
             }
-            lease.core.claimed[lease.lane].store(false, Ordering::Release);
+            lane.claimed.store(false, Ordering::Release);
             counters::record_lane_released();
         }
     }
@@ -110,10 +128,7 @@ impl HazardDomain {
     pub fn new() -> Self {
         HazardDomain {
             core: Arc::new(DomainCore {
-                hazards: (0..MAX_THREADS * SLOTS_PER_THREAD)
-                    .map(|_| CachePadded::new(AtomicU64::new(EMPTY)))
-                    .collect(),
-                claimed: (0..MAX_THREADS).map(|_| AtomicBool::new(false)).collect(),
+                lanes: LazySlots::new(),
                 orphans: Mutex::new(Vec::new()),
                 id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
             }),
@@ -139,13 +154,19 @@ impl HazardDomain {
     }
 
     fn claim_lane(&self) -> usize {
-        for i in 0..MAX_THREADS {
-            if !self.core.claimed[i].load(Ordering::Acquire)
-                && self.core.claimed[i]
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-            {
-                return i;
+        // Segment-by-segment: a segment is only materialized once every
+        // earlier one scanned full, so small runs stay within 128 lanes.
+        for seg in 0..lazyslots::NUM_SEGS {
+            let (base, lanes) = self.core.lanes.segment(seg);
+            for (off, lane) in lanes.iter().enumerate() {
+                if !lane.claimed.load(Ordering::Acquire)
+                    && lane
+                        .claimed
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return base + off;
+                }
             }
         }
         panic!("hazard domain lanes exhausted");
@@ -158,7 +179,15 @@ impl HazardDomain {
     #[inline]
     fn slot(&self, lane: usize, k: usize) -> &AtomicU64 {
         debug_assert!(k < SLOTS_PER_THREAD);
-        &self.core.hazards[lane * SLOTS_PER_THREAD + k]
+        &self.core.lanes.slot(lane).hazards[k]
+    }
+
+    /// Every hazard slot of every **allocated** lane segment. A lane in an
+    /// unallocated segment was never claimed, so its slots are all `EMPTY`
+    /// by construction — skipping them is exact and keeps scans O(lanes
+    /// ever claimed), not O(`MAX_THREADS`).
+    fn all_hazards(&self) -> impl Iterator<Item = &AtomicU64> {
+        self.core.lanes.iter().flat_map(|l| l.hazards.iter())
     }
 
     /// Publish hazard slot `k` = `idx`. Charges the store **and the fence**
@@ -190,9 +219,7 @@ impl HazardDomain {
     /// Is `idx` currently protected by any thread? (Diagnostics; the scan
     /// batches this check over a snapshot instead.)
     pub fn is_protected(&self, idx: u32) -> bool {
-        self.core
-            .hazards
-            .iter()
+        self.all_hazards()
             .any(|h| h.load(Ordering::Acquire) == idx as u64)
     }
 
@@ -227,9 +254,7 @@ impl HazardDomain {
             let mut snap = s.borrow_mut();
             snap.clear();
             snap.extend(
-                self.core
-                    .hazards
-                    .iter()
+                self.all_hazards()
                     .map(|h| h.load(Ordering::Acquire))
                     .filter(|&v| v != EMPTY),
             );
@@ -268,9 +293,7 @@ impl HazardDomain {
 
     /// Number of currently published hazards (diagnostics).
     pub fn active_hazards(&self) -> usize {
-        self.core
-            .hazards
-            .iter()
+        self.all_hazards()
             .filter(|h| h.load(Ordering::Relaxed) != EMPTY)
             .count()
     }
@@ -396,6 +419,36 @@ mod tests {
         d.scan(&pool);
         assert_eq!(d.orphan_count(), 0, "orphans not drained by scan");
         assert_eq!(pool.live(), 0, "retired slots leaked");
+    }
+
+    #[test]
+    fn more_than_128_threads_protect_simultaneously() {
+        // Regression for the server-scale lane cap: the lane table used to
+        // be flat 128 entries and the 129th simultaneous claimer panicked.
+        // 160 threads each publish a distinct hazard and hold it; the
+        // domain must see all of them at once.
+        use std::sync::Barrier;
+        const N: usize = 160;
+        let d = HazardDomain::new();
+        let published = Barrier::new(N + 1);
+        let release = Barrier::new(N + 1);
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let (d, published, release) = (&d, &published, &release);
+                s.spawn(move || {
+                    d.protect(0, i as u32);
+                    published.wait();
+                    release.wait();
+                    d.clear_all();
+                });
+            }
+            published.wait();
+            assert_eq!(d.active_hazards(), N);
+            for i in 0..N {
+                assert!(d.is_protected(i as u32), "hazard {i} lost");
+            }
+            release.wait();
+        });
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Lazily-allocated geometric slot tables for thread-slot-indexed state.
+//!
+//! Server-scale runs lease up to [`CAPACITY`] = 1024 thread slots, but a
+//! typical cell touches a handful. Sizing every per-structure table (pool
+//! magazines, hazard lanes, epoch announcements) eagerly at 1024
+//! cache-padded entries would cost ~128 KB *per structure per trial*;
+//! keeping the old flat 128 would cap the lane count. `LazySlots` splits
+//! the index space into geometric segments — `[0,128)`, `[128,256)`,
+//! `[256,512)`, `[512,1024)` — each allocated on first touch, so a
+//! ≤128-slot run allocates exactly one 128-entry segment (the old
+//! footprint, now paid lazily) and wider runs grow by doubling.
+//!
+//! Iteration visits only allocated segments. That is sound for every
+//! consumer here because a slot in an unallocated segment was never
+//! touched, so skipping it is observationally identical to reading its
+//! default value (unclaimed, unpinned, empty hazard) — and it is what
+//! keeps the epoch-advance and hazard-scan loops O(live slots) instead of
+//! O(1024) on small runs.
+//!
+//! Segments are `OnceLock`-published: the initializing store is a release
+//! and every reader's first load is an acquire, so a reader that sees a
+//! segment sees fully-initialized defaults. A reader that does *not* see a
+//! just-published segment misses at most in-flight state whose publication
+//! protocol already tolerates lagging observers (epoch pins re-validate
+//! against the global epoch; hazard publication fences before the
+//! retire-side scan).
+
+use std::sync::OnceLock;
+
+/// Total slot capacity — the `MAX_THREADS` for the epoch registry and
+/// hazard domains.
+pub(crate) const CAPACITY: usize = 1024;
+
+/// Entries in segment 0 (the historical flat table size).
+const BASE: usize = 128;
+
+/// Segment count: 128 + 128 + 256 + 512 = 1024.
+pub(crate) const NUM_SEGS: usize = 4;
+
+/// Length of segment `seg` under the doubling layout.
+const fn seg_len(seg: usize) -> usize {
+    if seg == 0 {
+        BASE
+    } else {
+        BASE << (seg - 1)
+    }
+}
+
+/// First slot index covered by segment `seg`. (For `seg ≥ 1` the base
+/// equals the length — each segment doubles the table.)
+const fn seg_base(seg: usize) -> usize {
+    if seg == 0 {
+        0
+    } else {
+        BASE << (seg - 1)
+    }
+}
+
+/// `(segment, offset)` of slot `i`.
+#[inline]
+fn locate(i: usize) -> (usize, usize) {
+    debug_assert!(i < CAPACITY, "slot index {i} out of range");
+    if i < BASE {
+        (0, i)
+    } else {
+        let top = (usize::BITS - 1 - i.leading_zeros()) as usize; // 7..=9
+        (top - 6, i - (1 << top))
+    }
+}
+
+/// A lazily-segmented table of [`CAPACITY`] default-initialized slots.
+/// Slot references are stable for the table's lifetime (segments never
+/// move), so `&T` handed out by [`slot`](Self::slot) may be cached.
+pub(crate) struct LazySlots<T> {
+    segs: [OnceLock<Box<[T]>>; NUM_SEGS],
+}
+
+impl<T> LazySlots<T> {
+    pub(crate) const fn new() -> Self {
+        LazySlots {
+            segs: [const { OnceLock::new() }; NUM_SEGS],
+        }
+    }
+
+    /// Number of slots in allocated segments (diagnostics/tests).
+    #[cfg(test)]
+    fn allocated(&self) -> usize {
+        (0..NUM_SEGS)
+            .filter(|&s| self.segs[s].get().is_some())
+            .map(seg_len)
+            .sum()
+    }
+}
+
+impl<T: Default> LazySlots<T> {
+    fn seg(&self, s: usize) -> &[T] {
+        self.segs[s].get_or_init(|| (0..seg_len(s)).map(|_| T::default()).collect())
+    }
+
+    /// The slot at `i`, allocating its segment on first touch.
+    #[inline]
+    pub(crate) fn slot(&self, i: usize) -> &T {
+        let (s, off) = locate(i);
+        &self.seg(s)[off]
+    }
+
+    /// Force segment `s` and return `(base_index, slots)`. Claim scans use
+    /// this to extend the table one segment at a time: segment `s` is only
+    /// materialized once every earlier segment scanned full.
+    pub(crate) fn segment(&self, s: usize) -> (usize, &[T]) {
+        (seg_base(s), self.seg(s))
+    }
+
+    /// Iterate every slot of every **allocated** segment, in index order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..NUM_SEGS)
+            .filter_map(|s| self.segs[s].get())
+            .flat_map(|b| b.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn layout_covers_the_capacity_exactly_once() {
+        // Segment bases/lengths tile [0, CAPACITY).
+        let mut expect = 0;
+        for s in 0..NUM_SEGS {
+            assert_eq!(seg_base(s), expect, "segment {s} base");
+            expect += seg_len(s);
+        }
+        assert_eq!(expect, CAPACITY);
+        // locate() is the inverse of the tiling at every boundary and a
+        // sample of interior points.
+        for i in [0, 1, 127, 128, 129, 255, 256, 400, 511, 512, 700, 1023] {
+            let (s, off) = locate(i);
+            assert!(off < seg_len(s), "offset out of segment at {i}");
+            assert_eq!(seg_base(s) + off, i, "locate not inverse at {i}");
+        }
+    }
+
+    #[test]
+    fn locate_is_injective_over_the_whole_range() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..CAPACITY {
+            assert!(seen.insert(locate(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn segments_allocate_lazily_and_independently() {
+        let t: LazySlots<AtomicU64> = LazySlots::new();
+        assert_eq!(t.allocated(), 0, "fresh table should own nothing");
+        t.slot(3).store(7, Ordering::Relaxed);
+        assert_eq!(t.allocated(), 128, "touching slot 3 allocates seg 0 only");
+        // Touch a high slot without the middle segments.
+        t.slot(900).store(9, Ordering::Relaxed);
+        assert_eq!(t.allocated(), 128 + 512);
+        assert_eq!(t.slot(3).load(Ordering::Relaxed), 7);
+        assert_eq!(t.slot(900).load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn slot_references_are_stable() {
+        let t: LazySlots<AtomicU64> = LazySlots::new();
+        let a = t.slot(200) as *const AtomicU64;
+        t.slot(1023); // allocate more segments
+        assert_eq!(a, t.slot(200) as *const AtomicU64);
+    }
+
+    #[test]
+    fn iter_visits_allocated_slots_in_index_order() {
+        let t: LazySlots<AtomicU64> = LazySlots::new();
+        t.slot(0);
+        t.slot(600); // seg 3, skipping segs 1-2
+        let n = t.iter().count();
+        assert_eq!(n, 128 + 512);
+        // Mark two known slots and find them in order via enumerate over
+        // the allocated index space [0,128) ++ [512,1024).
+        t.slot(5).store(55, Ordering::Relaxed);
+        t.slot(513).store(77, Ordering::Relaxed);
+        let vals: Vec<u64> = t
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .filter(|&v| v != 0)
+            .collect();
+        assert_eq!(vals, vec![55, 77]);
+    }
+
+    #[test]
+    fn concurrent_first_touch_agrees_on_one_segment() {
+        let t: LazySlots<AtomicU64> = LazySlots::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..CAPACITY {
+                        t.slot(i).fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(t.iter().all(|a| a.load(Ordering::Relaxed) == 8));
+    }
+}

@@ -22,8 +22,9 @@
 pub mod counters;
 pub mod epoch;
 pub mod hazard;
+mod lazyslots;
 pub mod pool;
 
-pub use counters::MemSnapshot;
+pub use counters::{MemScope, MemSnapshot};
 pub use hazard::HazardDomain;
 pub use pool::{Pool, NIL};

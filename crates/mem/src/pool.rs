@@ -91,6 +91,12 @@ impl PerThread {
 /// cache line.
 struct PerThreadCell(CachePadded<UnsafeCell<PerThread>>);
 
+impl Default for PerThreadCell {
+    fn default() -> Self {
+        PerThreadCell(CachePadded::new(UnsafeCell::new(PerThread::new())))
+    }
+}
+
 // SAFETY: `PerThreadCell` lives in an array indexed by
 // `epoch::thread_slot()`. A slot is leased to exactly one live thread at a
 // time, and lease recycling hands the slot over with a release store /
@@ -128,8 +134,11 @@ pub struct Pool<T> {
     links: [OnceLock<Box<[AtomicU32]>>; SEGMENTS],
     /// Retired slots awaiting their grace period, FIFO by flush order.
     limbo: Mutex<VecDeque<(u64, u32)>>,
-    /// Per-thread magazines and limbo stages, indexed by epoch thread slot.
-    per_thread: Box<[PerThreadCell]>,
+    /// Per-thread magazines and limbo stages, indexed by epoch thread
+    /// slot. Lazily segmented: each pool allocates magazine space only for
+    /// the slot-index segments its callers actually occupy, so per-trial
+    /// pools stay cheap even though the slot space is 1024 wide.
+    per_thread: crate::lazyslots::LazySlots<PerThreadCell>,
     /// Gauge of threads currently inside `alloc` (contention model).
     in_alloc: AtomicU64,
     /// Slots handed out minus slots in free list/limbo (diagnostics).
@@ -146,9 +155,7 @@ impl<T: Default> Pool<T> {
             free_head: AtomicU64::new(NIL as u64),
             links: std::array::from_fn(|_| OnceLock::new()),
             limbo: Mutex::new(VecDeque::new()),
-            per_thread: (0..epoch::MAX_THREADS)
-                .map(|_| PerThreadCell(CachePadded::new(UnsafeCell::new(PerThread::new()))))
-                .collect(),
+            per_thread: crate::lazyslots::LazySlots::new(),
             in_alloc: AtomicU64::new(0),
             live: AtomicU64::new(0),
         }
@@ -163,7 +170,7 @@ impl<T: Default> Pool<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     fn my_per_thread(&self) -> &mut PerThread {
-        unsafe { &mut *self.per_thread[epoch::thread_slot()].0.get() }
+        unsafe { &mut *self.per_thread.slot(epoch::thread_slot()).0.get() }
     }
 
     fn ensure_segment(&self, seg: usize) {

@@ -33,8 +33,6 @@ use pto_core::PriorityQueue;
 use pto_htm::TxWord;
 use pto_mem::epoch;
 use pto_mem::{Pool, NIL};
-use pto_sim::rng::XorShift64;
-use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 
 /// `val()` of an empty list: +∞.
@@ -87,13 +85,15 @@ enum Prims {
     Pto { policy: PtoPolicy, stats: PtoStats },
 }
 
-/// Per-thread leaf-probe seeds from a shared Weyl sequence (see
-/// [`pto_sim::rng::WeylSeq`] for why a thread-local's address is the wrong
-/// seed source).
-static RNG_SEEDS: pto_sim::rng::WeylSeq = pto_sim::rng::WeylSeq::new(0xA076_1D64_78BD_642F);
+/// Per-lane leaf-probe stream: the call-site constant for
+/// [`pto_sim::rng::lane_draw`], which reseeds from `(site, stream key,
+/// gate lane)` so probes are reproducible per lane and uncorrelated
+/// across 64–512 lanes (the first-use-order `WeylSeq` scheme this
+/// replaces was audited broken at that scale).
+const PROBE_SITE: u64 = 0xA076_1D64_78BD_642F;
 
 thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(RNG_SEEDS.next_seed()));
+    static PROBE_SLOT: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
 }
 
 /// Consecutive failed random-leaf draws before the tree grows a level
@@ -266,7 +266,9 @@ impl Mound {
             let depth = self.active_depth();
             let leaves = 1usize << (depth - 1);
             let leaf = leaves
-                + RNG.with(|r| r.borrow_mut().below(leaves as u64)) as usize;
+                + PROBE_SLOT.with(|s| {
+                    pto_sim::rng::lane_draw_below(PROBE_SITE, s, leaves as u64)
+                }) as usize;
             if self.val(leaf) < v {
                 // Re-draw; after a streak of occupied leaves, grow the tree
                 // so fresh (empty, val = ∞) leaves appear.
@@ -554,6 +556,7 @@ impl PriorityQueue for Mound {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pto_sim::rng::XorShift64;
     use std::collections::BinaryHeap;
 
     fn drain_sorted(m: &Mound) -> Vec<u32> {

@@ -19,6 +19,13 @@
 //! outlined behind `#[cold]`. None of this changes *virtual* time: the
 //! threshold test is equivalent to the original `now - last_sync >=
 //! quantum` check, and gate synchronization never charges cycles.
+//!
+//! Cost-profile dispatch rides the same shape: a `Cell<*const u64>` holds
+//! the lane's dense [`CostTable`](crate::cost::CostTable) while attached
+//! to a non-default (NUMA remote) socket, and null otherwise. The null
+//! path is the original const-fn [`cost::cycles`] lookup — detached
+//! threads and every Haswell lane charge bit-identically to before the
+//! profile existed.
 
 use crate::cost::{self, CostKind};
 use crate::sched::Gate;
@@ -37,6 +44,9 @@ struct ThreadCtx {
     gate: Cell<*const Gate>,
     /// Keep-alive for the pointer above; only touched on attach/detach.
     gate_keep: RefCell<Option<Arc<Gate>>>,
+    /// First element of the lane's cost table — null means "use the
+    /// default Haswell const fn". Tables are `'static`, so no keep-alive.
+    table: Cell<*const u64>,
 }
 
 thread_local! {
@@ -47,21 +57,39 @@ thread_local! {
             lane: Cell::new(0),
             gate: Cell::new(std::ptr::null()),
             gate_keep: RefCell::new(None),
+            table: Cell::new(std::ptr::null()),
         }
     };
+}
+
+/// Cycle cost of `kind` on the current thread: the attached lane's cost
+/// table if one is installed, else the default Haswell table.
+#[inline]
+fn kind_cycles(kind: CostKind) -> u64 {
+    CTX.with(|ctx| {
+        let t = ctx.table.get();
+        if t.is_null() {
+            cost::cycles(kind)
+        } else {
+            // SAFETY: `t` points at a `'static` `CostTable` installed by
+            // `attach` (length `N_KINDS`); `kind as usize < N_KINDS` by
+            // construction (asserted over `ALL_KINDS` in cost tests).
+            unsafe { *t.add(kind as usize) }
+        }
+    })
 }
 
 /// Charge one event from the cost table to the current thread's clock.
 #[inline]
 pub fn charge(kind: CostKind) {
-    charge_cycles(cost::cycles(kind));
+    charge_cycles(kind_cycles(kind));
 }
 
 /// Charge `n` repetitions of one event. Saturates (like `charge_cycles`)
 /// instead of wrapping when `cycles × n` overflows.
 #[inline]
 pub fn charge_n(kind: CostKind, n: u64) {
-    charge_cycles(cost::cycles(kind).saturating_mul(n));
+    charge_cycles(kind_cycles(kind).saturating_mul(n));
 }
 
 /// Charge a raw cycle amount to the current thread's clock, synchronizing
@@ -106,6 +134,16 @@ pub fn now() -> u64 {
     CTX.with(|ctx| ctx.clock.get())
 }
 
+/// True when the calling thread is a simulator lane charged a non-default
+/// (remote-socket) cost table — i.e. it models a thread off socket 0 under
+/// [`CostProfile::NumaIsh`](crate::cost::CostProfile). Socket-0 lanes and
+/// unattached threads return `false`. Consumers use this to tag events
+/// (commits, aborts) by locality without threading the profile through.
+#[inline]
+pub fn on_remote_socket() -> bool {
+    CTX.with(|ctx| !ctx.table.get().is_null())
+}
+
 /// The gate lane the current thread is attached to, or `None` outside a
 /// simulation (used by the tracer to label tracks).
 pub fn current_lane() -> Option<usize> {
@@ -140,6 +178,10 @@ pub(crate) fn attach(gate: Arc<Gate>, lane: usize) {
         ctx.clock.set(0);
         ctx.next_sync.set(gate.quantum());
         ctx.lane.set(lane);
+        ctx.table.set(match gate.profile().table_for(lane) {
+            Some(t) => t.as_ptr(),
+            None => std::ptr::null(),
+        });
         ctx.gate.set(Arc::as_ptr(&gate));
         *ctx.gate_keep.borrow_mut() = Some(gate);
     });
@@ -151,6 +193,7 @@ pub(crate) fn detach() -> u64 {
     CTX.with(|ctx| {
         let final_clock = ctx.clock.get();
         ctx.gate.set(std::ptr::null());
+        ctx.table.set(std::ptr::null());
         ctx.next_sync.set(u64::MAX);
         if let Some(g) = ctx.gate_keep.borrow_mut().take() {
             g.finish(ctx.lane.get(), final_clock);

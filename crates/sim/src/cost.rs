@@ -1,6 +1,7 @@
-//! Haswell-calibrated cycle cost table.
+//! Calibrated cycle cost tables: the paper's Haswell testbed, plus a
+//! multi-socket "NUMA-ish" profile for server-scale (64–512 lane) runs.
 //!
-//! Sources for the calibration: the Intel 64 optimization manual
+//! Sources for the Haswell calibration: the Intel 64 optimization manual
 //! (lock-prefixed RMW and `mfence` latencies on Haswell), Yoo et al. SC'13
 //! (TSX begin/commit boundary cost, which the paper's §7 calls out as the
 //! dominant fixed cost of small transactions), and the paper's own
@@ -9,6 +10,15 @@
 //! The absolute values are estimates; the reproduction's claims rest on the
 //! *event counts* each algorithm performs, with these weights chosen so that
 //! the relative magnitudes match the hardware the paper ran on.
+//!
+//! The NUMA-ish profile ([`CostProfile::NumaIsh`]) maps lanes onto sockets
+//! of [`LANES_PER_SOCKET`] and charges lanes off socket 0 — the home socket
+//! of the shared heap — a cross-socket surcharge on every coherence-class
+//! event (shared loads/stores, CAS, commit publication, allocation, epoch
+//! announcements). Private work (`Work`, `SpinIter`, `TxStore` into the
+//! local speculative buffer, `TxBegin`) costs the same on every socket.
+//! Socket 0 itself uses the Haswell table verbatim, so a NUMA-ish run at
+//! ≤ [`LANES_PER_SOCKET`] lanes is bit-identical to a Haswell run.
 
 /// A modeled micro-architectural event. Every shared-memory access in the
 /// workspace goes through [`pto-htm`'s `TxWord`](../clock/fn.charge.html)
@@ -82,6 +92,142 @@ pub const fn cycles(kind: CostKind) -> u64 {
     }
 }
 
+/// Number of [`CostKind`] variants (table width).
+pub const N_KINDS: usize = 17;
+
+/// Every kind, in discriminant order (index `i` holds the kind whose
+/// `as usize` is `i` — asserted by a test, relied on by table lookups).
+pub const ALL_KINDS: [CostKind; N_KINDS] = [
+    CostKind::SharedLoad,
+    CostKind::SharedStore,
+    CostKind::Cas,
+    CostKind::CasFail,
+    CostKind::Fence,
+    CostKind::TxBegin,
+    CostKind::TxEnd,
+    CostKind::TxAbort,
+    CostKind::TxLoad,
+    CostKind::TxStore,
+    CostKind::PoolAlloc,
+    CostKind::PoolFree,
+    CostKind::AllocContend,
+    CostKind::EpochPin,
+    CostKind::EpochUnpin,
+    CostKind::SpinIter,
+    CostKind::Work,
+];
+
+/// A dense cost table indexed by `CostKind as usize`.
+pub type CostTable = [u64; N_KINDS];
+
+/// Lanes per socket under [`CostProfile::NumaIsh`]: the paper's testbed is
+/// one 4-core/8-thread socket, so a socket is 8 lanes and lanes 0–7 of a
+/// NUMA-ish machine *are* the Haswell machine.
+pub const LANES_PER_SOCKET: usize = 8;
+
+/// Cycle cost of one event on a lane whose socket does not own the shared
+/// heap (cross-socket surcharge on coherence-class events only).
+#[inline]
+pub const fn numa_remote_cycles(kind: CostKind) -> u64 {
+    match kind {
+        // Every shared-line access risks a snoop across the interconnect;
+        // charge roughly the QPI hop the Intel uncore manuals describe
+        // (~100ns round trip amortized over the hit mix).
+        CostKind::SharedLoad => 24,
+        CostKind::SharedStore => 10,
+        // RFO for the line crosses sockets on first touch.
+        CostKind::Cas => 60,
+        CostKind::CasFail => 40,
+        CostKind::Fence => 26,
+        // Entering speculation is core-local.
+        CostKind::TxBegin => 14,
+        // Commit publishes the write set — remote lines must be owned.
+        CostKind::TxEnd => 32,
+        CostKind::TxAbort => 18,
+        CostKind::TxLoad => 24,
+        // Speculative stores stay in the local buffer until commit.
+        CostKind::TxStore => 4,
+        // The shared pool lives on socket 0: remote alloc/free pays the
+        // hop on the free-list CAS and the header touch.
+        CostKind::PoolAlloc => 150,
+        CostKind::PoolFree => 75,
+        CostKind::AllocContend => 50,
+        // Epoch announcements must become globally visible.
+        CostKind::EpochPin => 38,
+        CostKind::EpochUnpin => 38,
+        // Private work is socket-independent.
+        CostKind::SpinIter => 12,
+        CostKind::Work => 2,
+    }
+}
+
+const fn build_table(remote: bool) -> CostTable {
+    let mut t = [0u64; N_KINDS];
+    let mut i = 0;
+    while i < N_KINDS {
+        t[i] = if remote {
+            numa_remote_cycles(ALL_KINDS[i])
+        } else {
+            cycles(ALL_KINDS[i])
+        };
+        i += 1;
+    }
+    t
+}
+
+/// The Haswell table in dense form (bit-identical to [`cycles`]).
+pub static HASWELL_TABLE: CostTable = build_table(false);
+
+/// The NUMA-ish remote-socket table in dense form.
+pub static NUMA_REMOTE_TABLE: CostTable = build_table(true);
+
+/// Which calibrated machine a [`Sim`](crate::sched::Sim) run models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CostProfile {
+    /// The paper's testbed: one Haswell socket, flat [`cycles`] table for
+    /// every lane. The default; all goldens are recorded under it.
+    #[default]
+    Haswell,
+    /// A multi-socket server: lanes map onto sockets of
+    /// [`LANES_PER_SOCKET`], socket 0 is home to the shared heap, and
+    /// lanes on other sockets pay [`numa_remote_cycles`] for
+    /// coherence-class events. Socket 0 charges the Haswell table, so a
+    /// run confined to lanes 0–7 is bit-identical to `Haswell`.
+    NumaIsh,
+}
+
+impl CostProfile {
+    /// The socket a lane lives on (always 0 under `Haswell`).
+    #[inline]
+    pub fn socket_of(self, lane: usize) -> usize {
+        match self {
+            CostProfile::Haswell => 0,
+            CostProfile::NumaIsh => lane / LANES_PER_SOCKET,
+        }
+    }
+
+    /// The dense table a lane charges from, or `None` for the default
+    /// Haswell table (lets the clock keep its const-fn fast path).
+    #[inline]
+    pub fn table_for(self, lane: usize) -> Option<&'static CostTable> {
+        if self.socket_of(lane) == 0 {
+            None
+        } else {
+            Some(&NUMA_REMOTE_TABLE)
+        }
+    }
+
+    /// Cycle cost of `kind` on `lane` under this profile (test/reporting
+    /// helper; the hot path uses the table pointer installed at attach).
+    #[inline]
+    pub fn cycles_on(self, lane: usize, kind: CostKind) -> u64 {
+        match self.table_for(lane) {
+            None => cycles(kind),
+            Some(t) => t[kind as usize],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +288,95 @@ mod tests {
         assert!(
             cycles(CostKind::TxBegin) + cycles(CostKind::TxEnd)
                 < cycles(CostKind::EpochPin) + cycles(CostKind::EpochUnpin)
+        );
+    }
+
+    #[test]
+    fn all_kinds_is_in_discriminant_order() {
+        for (i, k) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(*k as usize, i, "ALL_KINDS[{i}] = {k:?} out of order");
+        }
+    }
+
+    #[test]
+    fn haswell_table_matches_cycles() {
+        // The dense table IS the const fn: the table-pointer fast path in
+        // the clock and the null-pointer Haswell path must agree exactly.
+        for k in ALL_KINDS {
+            assert_eq!(HASWELL_TABLE[k as usize], cycles(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn numa_remote_surcharges_coherence_events_only() {
+        // Cross-socket events cost strictly more; private work is equal.
+        use CostKind::*;
+        for k in [
+            SharedLoad,
+            SharedStore,
+            Cas,
+            CasFail,
+            TxEnd,
+            TxAbort,
+            TxLoad,
+            PoolAlloc,
+            PoolFree,
+            AllocContend,
+            EpochPin,
+            EpochUnpin,
+            Fence,
+        ] {
+            assert!(
+                numa_remote_cycles(k) > cycles(k),
+                "{k:?}: remote must exceed local"
+            );
+        }
+        for k in [TxBegin, TxStore, SpinIter, Work] {
+            assert_eq!(numa_remote_cycles(k), cycles(k), "{k:?} is socket-local");
+        }
+        // Remote costs stay within an order of magnitude: the profile is
+        // a NUMA hop, not a different machine.
+        for k in ALL_KINDS {
+            assert!(numa_remote_cycles(k) <= 4 * cycles(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn numa_preserves_paper_rankings() {
+        // The paper's qualitative claims must survive the remote table,
+        // or high-lane figures would contradict the ≤8-lane ones.
+        let r = numa_remote_cycles;
+        assert!(r(CostKind::PoolAlloc) > r(CostKind::Cas));
+        let five_cas = 5 * r(CostKind::Cas);
+        let tx = r(CostKind::TxBegin)
+            + r(CostKind::TxEnd)
+            + 2 * r(CostKind::TxLoad)
+            + 2 * r(CostKind::TxStore);
+        assert!(tx < five_cas, "tx={tx} five_cas={five_cas}");
+        assert!(
+            r(CostKind::TxBegin) + r(CostKind::TxEnd)
+                < r(CostKind::EpochPin) + r(CostKind::EpochUnpin)
+        );
+    }
+
+    #[test]
+    fn socket_mapping_and_tables() {
+        let h = CostProfile::Haswell;
+        let n = CostProfile::NumaIsh;
+        assert_eq!(h.socket_of(511), 0);
+        assert_eq!(n.socket_of(0), 0);
+        assert_eq!(n.socket_of(7), 0);
+        assert_eq!(n.socket_of(8), 1);
+        assert_eq!(n.socket_of(511), 63);
+        // Socket 0 always charges the default table.
+        assert!(h.table_for(500).is_none());
+        assert!(n.table_for(7).is_none());
+        let t = n.table_for(8).expect("remote lane gets a table");
+        assert_eq!(t[CostKind::Cas as usize], numa_remote_cycles(CostKind::Cas));
+        assert_eq!(n.cycles_on(3, CostKind::Cas), cycles(CostKind::Cas));
+        assert_eq!(
+            n.cycles_on(64, CostKind::Cas),
+            numa_remote_cycles(CostKind::Cas)
         );
     }
 }

@@ -53,7 +53,22 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Saturate rather than wrap: 512 lanes × long runs × cycle-scale
+        // samples genuinely reach u64 range, and a wrapped sum silently
+        // corrupts `mean`. Saturating add of non-negatives is
+        // order-independent (min(Σ, MAX)), so concurrent recording and
+        // `merge` agree on the saturated value.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -65,6 +80,30 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }
+    }
+
+    /// Add a snapshot's samples into this histogram (scope-flush path:
+    /// a scoped accumulator drains into the process-global one). Sum
+    /// saturates like [`Histogram::record`] does.
+    pub fn absorb(&self, s: &HistSnapshot) {
+        for (b, &n) in self.buckets.iter().zip(&s.buckets) {
+            if n > 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(s.count, Ordering::Relaxed);
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(s.sum);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max.fetch_max(s.max, Ordering::Relaxed);
     }
 
     /// Zero everything (harness use, between scoped regions).
@@ -89,8 +128,9 @@ impl Default for Histogram {
 pub struct HistSnapshot {
     pub buckets: [u64; BUCKETS],
     pub count: u64,
-    /// Wrapping sum of all samples (the atomic accumulator wraps on
-    /// overflow; `merge` wraps identically).
+    /// Saturating sum of all samples: `min(Σ samples, u64::MAX)`. The
+    /// accumulator and `merge` both saturate, so the value is independent
+    /// of recording/merge order even past overflow.
     pub sum: u64,
     /// Largest recorded sample (0 when empty); exact, unlike percentiles.
     pub max: u64,
@@ -112,9 +152,9 @@ impl HistSnapshot {
     /// concatenated sample streams.
     pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
         HistSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
-            count: self.count + other.count,
-            sum: self.sum.wrapping_add(other.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_add(other.buckets[i])),
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
             max: self.max.max(other.max),
         }
     }
@@ -259,18 +299,21 @@ mod tests {
     }
 
     #[test]
-    fn sum_wraps_while_max_and_count_stay_exact() {
-        // The sum accumulator is documented as wrapping; merge must wrap
-        // identically so merge-vs-concat equality survives saturation-scale
-        // samples.
+    fn sum_saturates_while_max_and_count_stay_exact() {
+        // Regression (lane-scaling overflow audit): the sum accumulator
+        // used a wrapping fetch_add, so 512-lane × long-run totals wrapped
+        // and `mean` went nonsense. It now saturates, merge saturates
+        // identically, and merge-vs-concat equality survives overflow.
         let a = hist_of(&[u64::MAX, u64::MAX]);
         assert_eq!(a.count, 2);
         assert_eq!(a.max, u64::MAX);
-        assert_eq!(a.sum, u64::MAX.wrapping_add(u64::MAX));
+        assert_eq!(a.sum, u64::MAX, "sum must clamp, not wrap");
         let b = hist_of(&[2]);
         let merged = a.merge(&b);
-        assert_eq!(merged.sum, a.sum.wrapping_add(2));
+        assert_eq!(merged.sum, u64::MAX);
         assert_eq!(merged, hist_of(&[u64::MAX, u64::MAX, 2]));
+        // A saturated mean stays a huge (not tiny wrapped) value.
+        assert!(merged.mean() > (u64::MAX / 4) as f64);
         // Percentiles remain bounded by max even at the saturated end.
         assert_eq!(merged.percentile(100.0), u64::MAX);
     }

@@ -42,10 +42,21 @@
 //! was created but never collected so a checker can refuse the history
 //! rather than silently verify a subset.
 
+//! Two arming modes share the machinery:
+//!
+//! * [`HistorySession`] — the original **process-global** session (at most
+//!   one armed at a time). Still what single-cell tests use.
+//! * [`ScopedHistory`] — a collector installed in the current thread's
+//!   [`ctx`](crate::ctx) slot and inherited by `Sim::run` lanes. Many
+//!   scoped histories can record concurrently on disjoint worker threads,
+//!   which is what lets `pto-check` shard its explorer cells across
+//!   cores. A thread with a scope installed records into the scope even
+//!   if a global session is armed elsewhere.
+
 use crate::sync::Mutex;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Default per-thread operation capacity of a session.
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
@@ -88,7 +99,17 @@ fn collector() -> &'static Mutex<Vec<ThreadHistory>> {
     C.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// The shared state behind a [`ScopedHistory`]: its own capacity, ordinal
+/// counter, and collector, fully independent of the global session.
+pub struct HistoryScope {
+    capacity: usize,
+    next_ordinal: AtomicU64,
+    collector: Mutex<Vec<ThreadHistory>>,
+}
+
 struct LocalHist {
+    /// The scope this buffer belongs to; `None` = the global session.
+    scope: Option<Arc<HistoryScope>>,
     session: u64,
     capacity: usize,
     hist: ThreadHistory,
@@ -117,8 +138,16 @@ thread_local! {
 }
 
 fn park_if_current(lh: LocalHist) {
-    if lh.session == SESSION.load(Ordering::Acquire) {
-        collector().lock().push(lh.hist);
+    match lh.scope {
+        // A scoped buffer parks into its own collector — the Arc in the
+        // buffer keeps the scope alive past any guard, so TLS-destructor
+        // parking is race-free here.
+        Some(scope) => scope.collector.lock().push(lh.hist),
+        None => {
+            if lh.session == SESSION.load(Ordering::Acquire) {
+                collector().lock().push(lh.hist);
+            }
+        }
     }
 }
 
@@ -138,21 +167,24 @@ pub fn flush() {
     });
 }
 
-/// True while a [`HistorySession`] is armed (recorders may use this to skip
-/// building payloads; [`record`] is safe to call either way).
+/// True while the current thread would record: a global
+/// [`HistorySession`] is armed or a [`ScopedHistory`] is installed on
+/// this thread (recorders may use this to skip building payloads;
+/// [`record`] is safe to call either way).
 #[inline]
 pub fn armed() -> bool {
-    ARMED.load(Ordering::Relaxed)
+    ARMED.load(Ordering::Relaxed) || crate::ctx::is_set(crate::ctx::SLOT_HISTORY)
 }
 
 /// Record one completed operation on the current thread.
 ///
 /// `inv` and `res` are the caller's [`now`](crate::now) readings bracketing
 /// the operation (reading the clock charges nothing). A no-op (one relaxed
-/// load) unless a [`HistorySession`] is armed; never charges virtual time.
+/// load plus a context-slot check) unless armed for this thread; never
+/// charges virtual time.
 #[inline]
 pub fn record(op: u16, arg: u64, ret: u64, inv: u64, res: u64) {
-    if !ARMED.load(Ordering::Relaxed) {
+    if !armed() {
         return;
     }
     record_slow(op, arg, ret, inv, res);
@@ -160,22 +192,43 @@ pub fn record(op: u16, arg: u64, ret: u64, inv: u64, res: u64) {
 
 #[cold]
 fn record_slow(op: u16, arg: u64, ret: u64, inv: u64, res: u64) {
+    let scope = crate::ctx::get::<HistoryScope>(crate::ctx::SLOT_HISTORY);
     let session = SESSION.load(Ordering::Acquire);
     // try_with: records arriving while TLS is being torn down are dropped.
     let _ = LOCAL.try_with(|local| {
         let mut slot = local.slot.borrow_mut();
-        let stale = match slot.as_ref() {
-            Some(lh) => lh.session != session,
-            None => true,
+        let stale = match (slot.as_ref(), &scope) {
+            (None, _) => true,
+            // Scoped recording: the buffer must belong to *this* scope.
+            (Some(lh), Some(sc)) => match &lh.scope {
+                Some(cur) => !Arc::ptr_eq(cur, sc),
+                None => true,
+            },
+            // Global recording: no scope may linger, session must match.
+            (Some(lh), None) => lh.scope.is_some() || lh.session != session,
         };
         if stale {
-            let capacity = CAPACITY.load(Ordering::Acquire);
+            // A buffer for a different owner parks rather than vanishes.
+            if let Some(old) = slot.take() {
+                park_if_current(old);
+            }
+            let (capacity, ordinal) = match &scope {
+                Some(sc) => (
+                    sc.capacity,
+                    sc.next_ordinal.fetch_add(1, Ordering::Relaxed),
+                ),
+                None => (
+                    CAPACITY.load(Ordering::Acquire),
+                    NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+                ),
+            };
             *slot = Some(LocalHist {
+                scope: scope.clone(),
                 session,
                 capacity,
                 hist: ThreadHistory {
                     lane: crate::clock::current_lane(),
-                    ordinal: NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+                    ordinal,
                     ops: Vec::with_capacity(capacity.min(1024)),
                     dropped: 0,
                 },
@@ -283,6 +336,61 @@ impl Drop for HistorySession {
     fn drop(&mut self) {
         // Reached on drain (idempotent) and on an abandoned session.
         ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// A thread-scoped history recording: installs a private collector in the
+/// current thread's context slot ([`ctx::SLOT_HISTORY`](crate::ctx)),
+/// inherited by every `Sim::run` lane this thread spawns. Unlike
+/// [`HistorySession`], any number of scoped histories may record
+/// concurrently on disjoint threads — the sharded lincheck explorer runs
+/// one per worker.
+///
+/// The same flush discipline applies: recording bodies under
+/// `std::thread::scope` must call [`flush`] as their last statement.
+#[must_use = "records nothing once dropped; call drain() to collect"]
+pub struct ScopedHistory {
+    scope: Arc<HistoryScope>,
+    _guard: crate::ctx::ScopeGuard,
+}
+
+impl ScopedHistory {
+    /// Scope recording to this thread (and its future sim lanes) with
+    /// [`DEFAULT_CAPACITY`] operations per recording thread.
+    pub fn arm() -> ScopedHistory {
+        ScopedHistory::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Scope recording with an explicit per-thread operation capacity.
+    pub fn with_capacity(capacity: usize) -> ScopedHistory {
+        assert!(capacity > 0, "history capacity must be positive");
+        let scope = Arc::new(HistoryScope {
+            capacity,
+            next_ordinal: AtomicU64::new(0),
+            collector: Mutex::new(Vec::new()),
+        });
+        let guard =
+            crate::ctx::ScopeGuard::install(crate::ctx::SLOT_HISTORY, Arc::clone(&scope) as _);
+        ScopedHistory {
+            scope,
+            _guard: guard,
+        }
+    }
+
+    /// Uninstall the scope and collect everything recorded into it.
+    pub fn drain(self) -> RawHistory {
+        flush();
+        let ScopedHistory { scope, _guard } = self;
+        drop(_guard);
+        let mut threads = std::mem::take(&mut *scope.collector.lock());
+        let lost_threads =
+            scope.next_ordinal.load(Ordering::SeqCst) - threads.len() as u64;
+        threads.retain(|t| !t.ops.is_empty() || t.dropped > 0);
+        threads.sort_by_key(|t| t.ordinal);
+        RawHistory {
+            threads,
+            lost_threads,
+        }
     }
 }
 
@@ -400,6 +508,73 @@ mod tests {
         assert!(std::panic::catch_unwind(HistorySession::arm).is_err());
         drop(session); // abandoned: must disarm
         HistorySession::arm().drain();
+    }
+
+    #[test]
+    fn scoped_history_records_without_a_global_session() {
+        let _g = serial();
+        let scoped = ScopedHistory::arm();
+        assert!(armed(), "scope must arm the current thread");
+        let out = crate::Sim::new(2).run(|lane| {
+            let t0 = crate::now();
+            crate::charge_cycles(10);
+            record(9, lane as u64, 0, t0, crate::now());
+            flush();
+        });
+        assert_eq!(out.per_thread.len(), 2);
+        let raw = scoped.drain();
+        assert_eq!(raw.lost_threads, 0);
+        assert_eq!(raw.ops(), 2);
+        assert!(!armed(), "dropping the scope disarms the thread");
+        // Nothing leaked into the global machinery.
+        let global = HistorySession::arm().drain();
+        assert_eq!(global.ops(), 0);
+    }
+
+    #[test]
+    fn concurrent_scoped_histories_stay_isolated() {
+        // Two worker threads, each its own scope and its own 2-lane sim:
+        // the sharded-lincheck shape. Each drain must see exactly its own
+        // cell's ops.
+        let _g = serial();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for cell in 0..4u64 {
+                handles.push(s.spawn(move || {
+                    let scoped = ScopedHistory::arm();
+                    crate::Sim::new(2).run(|lane| {
+                        for i in 0..10 + cell {
+                            record(1, cell * 1000 + i, 0, i, i + 1);
+                            let _ = lane;
+                        }
+                        flush();
+                    });
+                    (cell, scoped.drain())
+                }));
+            }
+            for h in handles {
+                let (cell, raw) = h.join().unwrap();
+                assert_eq!(raw.lost_threads, 0, "cell {cell}");
+                assert_eq!(raw.ops() as u64, 2 * (10 + cell), "cell {cell}");
+                for t in &raw.threads {
+                    assert!(
+                        t.ops.iter().all(|o| o.arg / 1000 == cell),
+                        "cell {cell} saw a foreign record"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn scope_wins_over_an_armed_global_session() {
+        let _g = serial();
+        let session = HistorySession::arm();
+        let scoped = ScopedHistory::arm();
+        record(5, 42, 0, 0, 1);
+        let raw = scoped.drain();
+        assert_eq!(raw.ops(), 1);
+        assert_eq!(session.drain().ops(), 0);
     }
 
     #[test]

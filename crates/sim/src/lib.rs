@@ -8,9 +8,10 @@
 //!
 //! This crate therefore provides the *execution simulator* substrate:
 //!
-//! * [`cost`] — a Haswell-calibrated table of cycle costs for the events the
-//!   paper reasons about (loads, stores, CAS, fences, transaction
-//!   boundaries, allocation, epoch maintenance).
+//! * [`cost`] — calibrated tables of cycle costs for the events the paper
+//!   reasons about (loads, stores, CAS, fences, transaction boundaries,
+//!   allocation, epoch maintenance): the paper's Haswell testbed plus a
+//!   multi-socket NUMA-ish profile for 64–512 lane machines.
 //! * [`clock`] — a per-thread **virtual cycle clock**. Every modeled event
 //!   charges cycles to the current thread's clock.
 //! * [`sched`] — a **gate scheduler** that runs N logical threads (backed by
@@ -34,6 +35,12 @@
 //!   virtual timestamps) consumed by the `pto-check` linearizability
 //!   checker.
 //! * [`json`] — a minimal JSON reader backing the trace validator.
+//! * [`ctx`] — scoped per-thread context slots (stats scopes, injection
+//!   schedules, RNG stream keys) inherited by [`Sim`] lane threads, the
+//!   isolation layer for sharded harness runs.
+//! * [`par`] — the hermetic work-stealing cell runner: run independent
+//!   deterministic cells across real OS threads, results in submission
+//!   order, byte-identical to a sequential run.
 //!
 //! The whole workspace builds hermetically: these modules exist precisely so
 //! the default dependency graph contains no crates-io packages.
@@ -43,10 +50,12 @@
 
 pub mod clock;
 pub mod cost;
+pub mod ctx;
 pub mod hist;
 pub mod history;
 pub mod json;
 pub mod pad;
+pub mod par;
 pub mod proptest;
 pub mod rng;
 pub mod sched;
@@ -55,7 +64,7 @@ pub mod sync;
 pub mod trace;
 
 pub use clock::{charge, charge_cycles, charge_n, now};
-pub use cost::CostKind;
+pub use cost::{CostKind, CostProfile};
 pub use sched::{Sim, SimOutcome};
 
 /// Clock frequency of the paper's testbed (i7-4770 @ 3.40 GHz), used to

@@ -3,7 +3,30 @@
 //! Library crates (e.g. the skiplist's tower-height draws) need cheap
 //! randomness without pulling the full `rand` stack into every crate;
 //! benchmark workloads in `pto-bench` use `rand` proper.
+//!
+//! # Per-lane streams at scale
+//!
+//! The original per-thread seeding scheme ([`WeylSeq`]) hands out seeds in
+//! **first-use order**: fine when 8 threads claim 8 seeds, but audited
+//! broken at 64–512 lanes. Its two failure modes at scale:
+//!
+//! * *first-use-order nondeterminism* — which OS thread reaches the site
+//!   first depends on the scheduler, so a 256-lane run reseeds lanes
+//!   differently every run, and two cells sharded onto a thread pool steal
+//!   seeds from each other's sequence;
+//! * *linear seed correlation* — consecutive seeds differ by exactly
+//!   [`WEYL_STEP`]; xorshift64* is not a hash, and hundreds of seeds on
+//!   one arithmetic progression produce measurably correlated low bits
+//!   across neighbouring lanes.
+//!
+//! [`lane_draw`] replaces that scheme for thread-local RNG sites: the
+//! per-thread state reseeds from `mix64(site ⊕ f(stream key, lane))` —
+//! a full avalanche mix of *who you are* (gate lane + cell stream key)
+//! rather than *when you arrived*. Draws become reproducible per
+//! `(cell, lane)` and pairwise-independent across the whole lane range
+//! (asserted by the correlation test below).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The golden-ratio Weyl increment: coprime to 2^64, so stepping a counter
@@ -52,6 +75,67 @@ impl WeylSeq {
             s
         }
     }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix (every input bit
+/// flips each output bit with probability ~1/2). Turns structured inputs
+/// (lane indices, site constants, arithmetic progressions) into
+/// independent-looking seeds.
+#[inline]
+pub const fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of the `(site, stream key, lane tag)` stream — the identity
+/// function behind [`lane_draw`], exposed so tests can audit seed quality
+/// over the full 0–512 lane range without spawning 512 threads.
+#[inline]
+pub fn stream_seed(site: u64, stream_key: u64, lane_tag: u64) -> u64 {
+    mix64(site ^ mix64(stream_key ^ lane_tag.rotate_left(32)))
+}
+
+/// One deterministic per-lane draw from a site-local stream.
+///
+/// `site` names the call site (a per-site constant); `slot` is the site's
+/// thread-local `(seed_basis, state)` pair. The stream identity is
+/// `(site, ctx stream key, gate lane)`: when any of those change under
+/// the thread (a new cell adopted the thread, or the thread attached to a
+/// different lane), the state transparently reseeds, so one OS thread
+/// serving many cells/lanes never leaks draws across them. Threads off
+/// the gate and outside any cell scope share the deterministic
+/// `(site, 0, unattached)` stream.
+#[inline]
+pub fn lane_draw(site: u64, slot: &Cell<(u64, u64)>) -> u64 {
+    let lane_tag = match crate::clock::current_lane() {
+        Some(l) => l as u64 + 1,
+        None => 0,
+    };
+    let basis = stream_seed(site, crate::ctx::stream_key(), lane_tag);
+    let (seed_basis, mut state) = slot.get();
+    if seed_basis != basis || state == 0 {
+        // mix64 is a bijection of a nonzero-offset add-mix, so `basis` can
+        // be 0 for exactly one input; remap like XorShift64::new does.
+        state = if basis == 0 { WEYL_STEP } else { basis };
+    }
+    // xorshift64* step (same generator as XorShift64::next_u64).
+    let mut x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    slot.set((basis, x));
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// [`lane_draw`] reduced to `[0, bound)` with the same multiply-shift
+/// reduction as [`XorShift64::below`], for sites that need a bounded draw
+/// (backoff windows, leaf probes). `bound` must be nonzero.
+#[inline]
+pub fn lane_draw_below(site: u64, slot: &Cell<(u64, u64)>, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((lane_draw(site, slot) as u128 * bound as u128) >> 64) as u64
 }
 
 /// xorshift64* — 8 bytes of state, passes BigCrush's small set, more than
@@ -171,5 +255,105 @@ mod tests {
         let mut r = XorShift64::new(5);
         let hits = (0..100_000).filter(|_| r.chance(1, 4)).count();
         assert!((23_000..=27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn mix64_avalanches_adjacent_inputs() {
+        // Single-bit / increment-adjacent inputs must produce outputs
+        // about 32 bits apart — the property WEYL_STEP progressions lack.
+        for i in 0..256u64 {
+            let d = (mix64(i) ^ mix64(i + 1)).count_ones();
+            assert!((12..=52).contains(&d), "mix64({i})^mix64({})={d} bits", i + 1);
+        }
+    }
+
+    #[test]
+    fn lane_streams_are_pairwise_uncorrelated_up_to_512_lanes() {
+        // The bug this guards: Weyl first-use seeding put hundreds of lane
+        // seeds on one arithmetic progression. For every lane pair at
+        // several strides, the XOR of their streams must look like noise
+        // (≈50% ones); a linear seed relation pushes it far off.
+        const SITE: u64 = 0xC0A0_5EED_0000_0001;
+        const DRAWS: usize = 64;
+        let stream = |lane: u64| -> Vec<u64> {
+            let mut r = XorShift64::new(stream_seed(SITE, 0, lane + 1));
+            (0..DRAWS).map(|_| r.next_u64()).collect()
+        };
+        let streams: Vec<Vec<u64>> = (0..512).map(stream).collect();
+        // Distinct seeds across the whole range (collision audit).
+        let mut seeds = std::collections::HashSet::new();
+        for lane in 0..512u64 {
+            assert!(
+                seeds.insert(stream_seed(SITE, 0, lane + 1)),
+                "seed collision at lane {lane}"
+            );
+        }
+        let total_bits = (DRAWS * 64) as f64;
+        for stride in [1usize, 2, 3, 7, 8, 16, 64, 255, 256] {
+            for a in 0..512 - stride {
+                let b = a + stride;
+                let diff: u32 = streams[a]
+                    .iter()
+                    .zip(&streams[b])
+                    .map(|(x, y)| (x ^ y).count_ones())
+                    .sum();
+                let frac = diff as f64 / total_bits;
+                assert!(
+                    (0.44..=0.56).contains(&frac),
+                    "lanes {a}/{b}: xor density {frac:.3} — correlated streams"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_stream_keys_give_distinct_streams() {
+        // Two cells running the same lane of the same site must not share
+        // draws (the sharded-harness requirement).
+        const SITE: u64 = 77;
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..256u64 {
+            assert!(seen.insert(stream_seed(SITE, mix64(key), 1)));
+        }
+    }
+
+    #[test]
+    fn lane_draw_reseeds_when_identity_changes() {
+        use std::cell::Cell;
+        const SITE: u64 = 0xABCD;
+        let slot = Cell::new((0u64, 0u64));
+        // Unattached, key 0: a fixed deterministic stream.
+        let a1 = lane_draw(SITE, &slot);
+        let a2 = lane_draw(SITE, &slot);
+        assert_ne!(a1, a2, "stream must advance");
+        // New stream key ⇒ transparently reseeds mid-thread.
+        let b1 = {
+            let _k = crate::ctx::stream_scope(9);
+            lane_draw(SITE, &slot)
+        };
+        assert_ne!(b1, a1);
+        // Back to key 0 ⇒ the original stream restarts from its seed.
+        let again = lane_draw(SITE, &slot);
+        assert_eq!(again, a1, "same identity must replay the same stream");
+    }
+
+    #[test]
+    fn lane_draw_streams_differ_per_lane_in_a_sim() {
+        use std::cell::Cell;
+        use std::sync::Mutex;
+        const SITE: u64 = 0x5EED;
+        thread_local! {
+            static SLOT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+        }
+        let draws = Mutex::new(Vec::new());
+        crate::sched::Sim::new(8).run(|lane| {
+            let d = SLOT.with(|s| lane_draw(SITE, s));
+            draws.lock().unwrap().push((lane, d));
+        });
+        let mut got = draws.into_inner().unwrap();
+        got.sort();
+        let unique: std::collections::HashSet<u64> =
+            got.iter().map(|&(_, d)| d).collect();
+        assert_eq!(unique.len(), 8, "lanes shared a draw: {got:?}");
     }
 }

@@ -33,8 +33,6 @@ use pto_core::{ConcurrentSet, PriorityQueue};
 use pto_htm::{TxResult, TxWord};
 use pto_mem::epoch::{self, Guard};
 use pto_mem::{Pool, NIL};
-use pto_sim::rng::XorShift64;
-use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 
 /// Tallest tower. 2^16 expected elements per level-16 node; plenty for the
@@ -80,13 +78,15 @@ impl Default for SkipNode {
     }
 }
 
-/// Per-thread tower-height seeds from a shared Weyl sequence (see
-/// [`pto_sim::rng::WeylSeq`] for why a thread-local's address is the wrong
-/// seed source).
-static RNG_SEEDS: pto_sim::rng::WeylSeq = pto_sim::rng::WeylSeq::new(0x6C62_272E_07BB_0142);
+/// Per-lane tower-height stream: the call-site constant for
+/// [`pto_sim::rng::lane_draw`], which reseeds from `(site, stream key,
+/// gate lane)` so heights are reproducible per lane and uncorrelated
+/// across 64–512 lanes (the first-use-order `WeylSeq` scheme this
+/// replaces was audited broken at that scale).
+const HEIGHT_SITE: u64 = 0x6C62_272E_07BB_0142;
 
 thread_local! {
-    static RNG: RefCell<XorShift64> = RefCell::new(XorShift64::new(RNG_SEEDS.next_seed()));
+    static HEIGHT_SLOT: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
 }
 
 /// Whether updates attempt a prefix transaction first.
@@ -140,14 +140,15 @@ impl SkipList {
     }
 
     fn random_height(&self) -> usize {
-        RNG.with(|r| {
-            let mut h = 1;
-            let mut rng = r.borrow_mut();
-            while h < MAX_LEVEL && rng.chance(1, 2) {
-                h += 1;
-            }
-            h
-        })
+        // One draw yields 64 independent coin flips; consume one bit per
+        // level (geometric, p = 1/2), same distribution as the old
+        // per-flip `chance(1, 2)` loop.
+        let bits = HEIGHT_SLOT.with(|s| pto_sim::rng::lane_draw(HEIGHT_SITE, s));
+        let mut h = 1;
+        while h < MAX_LEVEL && (bits >> (h - 1)) & 1 == 1 {
+            h += 1;
+        }
+        h
     }
 
     /// Fraser-style search: locate preds/succs at every level, physically
@@ -674,6 +675,7 @@ impl PriorityQueue for SkipQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pto_sim::rng::XorShift64;
     use std::collections::BTreeSet;
 
     fn set_semantics(s: &SkipListSet) {

@@ -28,6 +28,7 @@ use pto_htm::TxWord;
 use pto_list::{HarrisList, ListVariant};
 use pto_mindicator::{LockFreeMindicator, PtoMindicator};
 use pto_msqueue::MsQueue;
+use pto_sim::cost::CostProfile;
 use pto_sim::rng::XorShift64;
 use pto_sim::{CostKind, Sim};
 use std::sync::Mutex;
@@ -102,6 +103,45 @@ fn private_word_pto() -> u64 {
     out.makespan
 }
 
+/// 64 lanes (server scale; tournament-tree gate width 64) with lane 0
+/// running private-word transactions and every other lane charging a
+/// lane-indexed mix of shared-memory costs. All state is lane-private, so
+/// per-lane clocks — and the makespan, set by the heaviest lane — are pure
+/// functions of the cost table. Under [`CostProfile::NumaIsh`] lanes ≥ 8
+/// sit on remote sockets and pay the cross-socket surcharge, so the two
+/// profiles pin different goldens from the same op sequences.
+fn lane_private_64(profile: CostProfile) -> u64 {
+    pto_sim::clock::reset();
+    let word = TxWord::new(0);
+    let out = Sim::new(64).with_profile(profile).run(|lane| {
+        if lane == 0 {
+            let policy = PtoPolicy::with_attempts(3);
+            let stats = PtoStats::new();
+            for _ in 0..150 {
+                pto(
+                    &policy,
+                    &stats,
+                    |tx| {
+                        let v = tx.read(&word)?;
+                        tx.write(&word, v + 1)?;
+                        Ok(())
+                    },
+                    || unreachable!("lane-private word: the prefix cannot abort"),
+                );
+            }
+        } else {
+            for i in 0..(400 + 4 * lane as u64) {
+                match (i + lane as u64) % 3 {
+                    0 => pto_sim::charge(CostKind::Cas),
+                    1 => pto_sim::charge(CostKind::SharedLoad),
+                    _ => pto_sim::charge_n(CostKind::Work, 2),
+                }
+            }
+        }
+    });
+    out.makespan
+}
+
 /// 1-lane setbench-style loop (fixed seed) over a `ConcurrentSet`:
 /// exercises txn read/write sets, commit locking, pool alloc/retire, and
 /// the 1-lane gate path.
@@ -170,6 +210,8 @@ const GOLDEN_LIST_LOCKFREE: Golden = (289788, 0, 0, 0, 0, 0, 0, 0);
 const GOLDEN_MINDICATOR_PTO: Golden = (132800, 800, 800, 0, 0, 0, 0, 0);
 const GOLDEN_MINDICATOR_LOCKFREE: Golden = (371200, 0, 0, 0, 0, 0, 0, 0);
 const GOLDEN_MSQUEUE_PTO: Golden = (67750, 564, 564, 0, 0, 0, 0, 0);
+const GOLDEN_LANE_PRIVATE_64_HASWELL: Golden = (7836, 150, 150, 0, 0, 0, 0, 0);
+const GOLDEN_LANE_PRIVATE_64_NUMAISH: Golden = (19156, 150, 150, 0, 0, 0, 0, 0);
 
 #[test]
 fn golden_private_word_pto_4lane() {
@@ -218,6 +260,32 @@ fn golden_mindicator_1lane() {
         mindicator_workload(&m, 400, 4096, 3)
     });
     check("mindicator_lockfree", got, GOLDEN_MINDICATOR_LOCKFREE);
+}
+
+#[test]
+fn golden_lane_private_64lane_both_profiles() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let haswell = measure(|| lane_private_64(CostProfile::Haswell));
+    check("lane_private_64_haswell", haswell, GOLDEN_LANE_PRIVATE_64_HASWELL);
+    let numa = measure(|| lane_private_64(CostProfile::NumaIsh));
+    check("lane_private_64_numaish", numa, GOLDEN_LANE_PRIVATE_64_NUMAISH);
+    // The remote-socket surcharge must be visible in the makespan (lanes
+    // ≥ 8 pay it), while the HTM counters — all on socket-0 lane 0 — stay
+    // identical across profiles.
+    assert!(
+        numa.0 > haswell.0,
+        "NUMA-ish profile did not charge remote lanes more ({} vs {})",
+        numa.0,
+        haswell.0
+    );
+    assert_eq!(
+        (numa.1, numa.2, numa.3, numa.4, numa.5, numa.6, numa.7),
+        (haswell.1, haswell.2, haswell.3, haswell.4, haswell.5, haswell.6, haswell.7),
+        "HTM counters must not depend on the cost profile"
+    );
+    // And re-running must reproduce itself exactly.
+    let again = measure(|| lane_private_64(CostProfile::NumaIsh));
+    assert_eq!(numa, again, "64-lane workload is not deterministic");
 }
 
 #[test]

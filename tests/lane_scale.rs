@@ -1,0 +1,99 @@
+//! Server-scale lane smoke tests (PR 7): the whole substrate — gate
+//! scheduler, cost profiles, epoch registry, pools, hazard domains — must
+//! hold together at 512 simultaneous lanes, far past the paper's 8-thread
+//! testbed and past the old 128-entry thread-slot tables.
+//!
+//! These are liveness/invariant tests, not golden pins: 512 contending
+//! lanes interleave nondeterministically, so we assert structural facts
+//! (no panic, balances zero out, skew stays bounded) rather than exact
+//! makespans. The deterministic 64-lane golden pins live in
+//! `golden_makespan.rs`.
+
+use pto_mem::{HazardDomain, Pool};
+use pto_sim::{CostKind, CostProfile, Sim};
+
+#[derive(Default)]
+struct Node {
+    v: pto_htm::TxWord,
+}
+
+#[test]
+fn five_hundred_twelve_lanes_pin_alloc_and_protect() {
+    const LANES: usize = 512;
+    let pool: Pool<Node> = Pool::new();
+    let dom = HazardDomain::new();
+    let out = Sim {
+        threads: LANES,
+        quantum: 400,
+        profile: CostProfile::NumaIsh,
+    }
+    .run(|lane| {
+        // Each lane exercises every thread-slot-indexed subsystem: the
+        // epoch registry (pin), the pool magazines (alloc/retire/free) and
+        // a hazard lane (protect/clear) — all beyond slot 128 for most
+        // lanes, which the flat tables this PR replaced could not seat.
+        for round in 0..3u64 {
+            let g = pto_mem::epoch::pin();
+            let idx = pool.alloc();
+            pool.get(idx).v.init(lane as u64 * 8 + round);
+            dom.protect(0, idx);
+            assert_eq!(pool.get(idx).v.peek(), lane as u64 * 8 + round);
+            dom.clear(0);
+            drop(g);
+            if round % 2 == 0 {
+                pool.free_now(idx);
+            } else {
+                pool.retire(idx);
+            }
+            pto_sim::charge(CostKind::Work);
+        }
+    });
+    assert_eq!(out.per_thread.len(), LANES);
+    assert!(out.makespan > 0);
+    // Every lane allocated and released 3 slots; nothing may leak.
+    assert_eq!(pool.live(), 0, "leaked pool slots at 512 lanes");
+    assert_eq!(dom.active_hazards(), 0, "stale hazards at 512 lanes");
+    // NUMA profile sanity at scale: socket-0 lanes pay the Haswell local
+    // tariff, all other sockets the remote one, so a remote lane's clock
+    // must be strictly ahead of its socket-0 twin running the same body.
+    assert!(
+        out.per_thread[8] > out.per_thread[0],
+        "remote lane {} not slower than local lane {}",
+        out.per_thread[8],
+        out.per_thread[0]
+    );
+}
+
+#[test]
+fn conflict_free_512_lane_runs_are_deterministic_under_both_profiles() {
+    const LANES: usize = 512;
+    // Lane-private clock charges only: the gate paces the lanes but their
+    // final clocks are pure per-lane sums, so any two runs must agree
+    // bit-for-bit regardless of OS scheduling — at 512 lanes, under both
+    // cost profiles.
+    let run = |profile: CostProfile| {
+        let out = Sim {
+            threads: LANES,
+            quantum: 300,
+            profile,
+        }
+        .run(|lane| {
+            for _ in 0..(10 + lane as u64 % 13) {
+                pto_sim::charge(CostKind::Cas);
+                pto_sim::charge(CostKind::SharedLoad);
+            }
+        });
+        (out.makespan, out.per_thread)
+    };
+    for profile in [CostProfile::Haswell, CostProfile::NumaIsh] {
+        let a = run(profile);
+        let b = run(profile);
+        assert_eq!(a, b, "512-lane rerun diverged under {profile:?}");
+    }
+    // And the profiles must genuinely differ once lanes leave socket 0.
+    let h = run(CostProfile::Haswell);
+    let n = run(CostProfile::NumaIsh);
+    assert_eq!(h.1[..8], n.1[..8], "socket-0 lanes must match Haswell");
+    assert!(n.1[8] > h.1[8], "remote lane not charged the NUMA tariff");
+    assert!(n.0 > h.0, "NUMA makespan should exceed Haswell at 512 lanes");
+}

@@ -59,6 +59,7 @@ fn committed_rmw_spans_on_one_word_serialize() {
     Sim {
         threads: 4,
         quantum: 1,
+        profile: pto_sim::CostProfile::Haswell,
     }
     .run(|lane| {
         let policy = PtoPolicy::with_attempts(64);
