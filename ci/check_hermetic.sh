@@ -47,4 +47,15 @@ if bad:
     print("pto-check has non-workspace dependencies: " + ", ".join(bad))
     sys.exit(1)
 print("ok: pto-check depends only on pto-* crates")
+
+# The simulator is the foundation everything instruments against (clock,
+# trace, metrics, json); it must not grow dependencies at all — a pto-sim
+# that pulls in siblings inverts the layering, and an external crate
+# breaks hermeticity outright.
+sim = next(p for p in meta["packages"] if p["name"] == "pto-sim")
+bad = sorted(d["name"] for d in sim["dependencies"])
+if bad:
+    print("pto-sim must stay dependency-free, found: " + ", ".join(bad))
+    sys.exit(1)
+print("ok: pto-sim is dependency-free (foundation layer)")
 '

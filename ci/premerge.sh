@@ -15,6 +15,9 @@ cargo test -q
 echo "== trace smoke: tiny traced benchmark + Chrome-JSON structural check"
 cargo run -q --release -p pto-bench --bin trace_smoke
 
+echo "== metrics smoke: counter tracks + call-site attribution + SLO rails"
+timeout 30 cargo run -q --release -p pto-bench --bin metrics_smoke
+
 echo "== perf smoke: wallclock hot paths + BENCH_sim.json structural check"
 cargo run -q --release -p pto-bench --bin perf_smoke -- --check
 

@@ -1,0 +1,180 @@
+//! CI smoke test for the metrics, attribution, and SLO subsystems (run by
+//! `ci/premerge.sh`).
+//!
+//! Four checks, each fatal on failure:
+//!
+//! 1. **Counter tracks** — a traced *and* metered chaos workload exports
+//!    merged Chrome/Perfetto JSON (spans + counter tracks) that passes the
+//!    in-tree structural validator with >= 5 distinct counter series, and
+//!    lands in `results/metrics_fig2a.json`.
+//! 2. **Attribution** — the same workload under a [`ProfileSession`]
+//!    yields a collapsed-stack profile naming >= 3 distinct call sites,
+//!    written to `results/profile_smoke.txt` with the top-N table printed.
+//! 3. **Zero overhead** — a deterministic workload's virtual-time outcome
+//!    tuple (makespan, per-lane finish times) is bit-identical with all
+//!    three observer sessions armed vs disarmed.
+//! 4. **SLO gate** — a mini fig2a-style table evaluates against the
+//!    compiled-in rails and must pass, writing `results/slo_smoke.csv`.
+
+use pto_bench::cells;
+use pto_bench::drivers::{mbench, setbench};
+use pto_bench::report::Table;
+use pto_bench::slo;
+use pto_core::policy::PtoPolicy;
+use pto_core::profile::ProfileSession;
+use pto_mindicator::PtoMindicator;
+use pto_sim::metrics::{MetricsSession, Series};
+use pto_sim::trace::{self, TraceSession};
+use pto_skiplist::SkipListSet;
+
+/// The smoke workload: a plain PTO mindicator (commits), a chaos-100
+/// mindicator (aborts + fallbacks + backoff), and a PTO skiplist (several
+/// distinct `pto` call sites, pool/epoch churn). Returns (ops/ms of the
+/// last leg) so callers can keep a value alive.
+fn workload() -> f64 {
+    mbench(|| PtoMindicator::new(64), 4, 200, 65_536, 42);
+    mbench(
+        || PtoMindicator::with_policy(64, PtoPolicy::with_attempts(2).with_chaos(100)),
+        4,
+        100,
+        65_536,
+        43,
+    );
+    setbench(SkipListSet::new_pto, 4, 150, 256, 34, 44)
+}
+
+/// Deterministic lane-private workload for the overhead check (same
+/// discipline as `tests/metrics_overhead.rs`: no chaos, no conflicts).
+fn det_workload() -> (u64, Vec<u64>) {
+    pto_sim::clock::reset();
+    let word = pto_htm::TxWord::new(0);
+    let out = pto_sim::Sim::new(4).run(|lane| {
+        let policy = PtoPolicy::with_attempts(3);
+        let stats = pto_core::policy::PtoStats::new();
+        for _ in 0..(100 + lane as u64) {
+            pto_core::policy::pto(
+                &policy,
+                &stats,
+                |tx| {
+                    let v = tx.read(&word)?;
+                    tx.write(&word, v + 1)?;
+                    Ok(())
+                },
+                || (),
+            );
+        }
+    });
+    (out.makespan, out.per_thread)
+}
+
+fn main() {
+    // --- 1. Merged counter-track export. -------------------------------
+    let tsession = TraceSession::arm();
+    let msession = MetricsSession::arm();
+    workload();
+    let metrics = msession.drain();
+    let trace = tsession.drain();
+
+    assert!(
+        metrics.final_total(Series::Commits) > 0,
+        "no commits sampled"
+    );
+    assert!(
+        metrics.final_total(Series::AbortSpurious) > 0,
+        "chaos leg sampled no spurious aborts"
+    );
+
+    let json = trace.to_chrome_json_with_metrics(&metrics);
+    let check = trace::validate_chrome(&json).expect("merged trace+metrics JSON failed validation");
+    assert!(check.events > 0, "no span events in merged export");
+    assert!(
+        check.counter_series >= 5,
+        "expected >= 5 counter tracks in merged export, got {}",
+        check.counter_series
+    );
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/metrics_fig2a.json", &json).expect("write merged json");
+    println!(
+        "counter tracks: {} series merged into {} span events -> results/metrics_fig2a.json",
+        check.counter_series, check.events
+    );
+
+    // --- 2. Call-site attribution. -------------------------------------
+    let psession = ProfileSession::arm();
+    workload();
+    let profile = psession.drain();
+    let sites: std::collections::BTreeSet<(&str, u32)> =
+        profile.sites.iter().map(|s| (s.file, s.line)).collect();
+    assert!(
+        sites.len() >= 3,
+        "expected >= 3 distinct call sites in the profile, got {:?}",
+        sites
+    );
+    let collapsed = profile.collapsed();
+    assert!(
+        collapsed.lines().count() >= 3,
+        "collapsed-stack export too small:\n{collapsed}"
+    );
+    std::fs::write("results/profile_smoke.txt", &collapsed).expect("write collapsed profile");
+    print!("{}", profile.top_table(5));
+    println!(
+        "attribution: {} sites, {} cycles charged -> results/profile_smoke.txt",
+        sites.len(),
+        profile.total_cycles()
+    );
+
+    // --- 3. Observers change no virtual-time outcome. ------------------
+    let plain = det_workload();
+    let t = TraceSession::arm();
+    let m = MetricsSession::arm();
+    let p = ProfileSession::arm();
+    let armed = det_workload();
+    drop(t.drain());
+    drop(m.drain());
+    drop(p.drain());
+    assert_eq!(
+        plain, armed,
+        "arming trace+metrics+profile sessions changed a virtual-time outcome"
+    );
+    println!(
+        "overhead: armed == disarmed (makespan {}, {} lanes)",
+        plain.0,
+        plain.1.len()
+    );
+
+    // --- 4. SLO rails over a mini measured table. ----------------------
+    let mut table = Table::new("smoke", &["lockfree", "pto"]);
+    for &threads in &[1usize, 4] {
+        let mut vals = Vec::new();
+        for (series, f) in [
+            ("lockfree", SkipListSet::new_lockfree as fn() -> SkipListSet),
+            ("pto", SkipListSet::new_pto as fn() -> SkipListSet),
+        ] {
+            let out = cells::run_scoped(cells::cell_key(series, threads as u64), || {
+                setbench(f, threads, 150, 256, 34, 7)
+            });
+            vals.push(out.value);
+            table.push_cause(threads, series, out.htm, out.mem);
+            table.push_lat(threads, series, out.lat);
+            table.push_met(threads, series, out.met);
+        }
+        table.push(threads, vals);
+    }
+    let report = slo::evaluate("smoke", &table, &slo::spec_for("smoke"));
+    print!("{}", table.render_metrics());
+    print!("{}", report.render());
+    assert!(
+        !report.results.is_empty(),
+        "SLO rails evaluated no checks over the smoke table"
+    );
+    report.write_csv("smoke").expect("write results/slo_smoke.csv");
+    if !report.pass() {
+        eprintln!("SLO rails FAILED on the smoke workload");
+        std::process::exit(1);
+    }
+    println!(
+        "slo: {} checks passed -> results/slo_smoke.csv",
+        report.results.len()
+    );
+    println!("metrics smoke: OK");
+}

@@ -4,9 +4,12 @@
 //! one place that times *wallclock* — the harness overhead that bounds how
 //! many trials, lanes, and sweeps the figure harnesses can afford (see
 //! DESIGN.md §2.2, "two clocks"). It times each wallclock hot path in
-//! isolation plus a miniature `run_all`, and writes `BENCH_sim.json` with
-//! per-path ns/op, the pre-PR-4 baseline recorded on the same host, and the
-//! speedup ratios — the first point of the perf trajectory.
+//! isolation plus a miniature `run_all`, and *appends* a timestamped run
+//! record to the `history` array of `BENCH_sim.json` (schema v3) alongside
+//! the pre-PR-4 baseline recorded on the same host — so the file carries
+//! the whole perf trajectory of this checkout, not just the latest run.
+//! A v2 (or corrupt) file is replaced by a fresh v3 file with a one-entry
+//! history; the array is capped at the most recent [`HISTORY_CAP`] runs.
 //!
 //! Paths timed:
 //!
@@ -29,7 +32,8 @@
 //!   (≈32× from 8 to 256 lanes), which is what this series watches for.
 //!
 //! Run with `--check` for the premerge gate: reduced iteration counts, the
-//! emitted JSON is re-read and structurally validated, the lanes series
+//! emitted JSON is re-read and the *latest* history record structurally
+//! validated, the lanes series
 //! must stay far from the linear-rescan regime (a loose 8× backstop —
 //! wallclock on shared CI hosts is noise; the trajectory is for humans),
 //! and a small sharded sweep is replayed inline to assert the cell runner
@@ -80,6 +84,9 @@ const CHECK: Scale = Scale {
 /// The lanes axis of the scaling series (8 = the paper's machine,
 /// 64/256 = the ROADMAP's server scale).
 const LANES_SERIES: [usize; 3] = [8, 64, 256];
+
+/// Most recent run records kept in the `history` array.
+const HISTORY_CAP: usize = 50;
 
 fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let t0 = Instant::now();
@@ -243,6 +250,79 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Re-serialize a parsed [`json::Value`] (compact, insertion order kept).
+/// Used to carry the prior history records into the rewritten file.
+fn value_to_json(v: &json::Value, out: &mut String) {
+    match v {
+        json::Value::Null => out.push_str("null"),
+        json::Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        json::Value::Num(n) => {
+            // Integers (timestamps, makespans) must round-trip clean.
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        json::Value::Str(s) => {
+            out.push('"');
+            out.push_str(&json::escape(s));
+            out.push('"');
+        }
+        json::Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                value_to_json(item, out);
+            }
+            out.push(']');
+        }
+        json::Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&json::escape(k));
+                out.push_str("\": ");
+                value_to_json(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// The serialized history records of an existing v3 `BENCH_sim.json`,
+/// oldest first. A missing, corrupt, or pre-v3 file yields an empty
+/// history (the trajectory restarts rather than blocking the run).
+fn prior_history() -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string("BENCH_sim.json") else {
+        return Vec::new();
+    };
+    let Ok(v) = json::Value::parse(&text) else {
+        println!("  (existing BENCH_sim.json unparseable — starting a fresh history)");
+        return Vec::new();
+    };
+    if v.get("schema").and_then(|s| s.as_str()) != Some("pto-perf-smoke-v3") {
+        println!("  (existing BENCH_sim.json pre-v3 — starting a fresh history)");
+        return Vec::new();
+    }
+    let Some(records) = v.get("history").and_then(|h| h.as_arr()) else {
+        return Vec::new();
+    };
+    records
+        .iter()
+        .map(|r| {
+            let mut s = String::new();
+            value_to_json(r, &mut s);
+            s
+        })
+        .collect()
+}
+
 fn ratio(baseline: f64, current: f64) -> f64 {
     if baseline.is_nan() || current <= 0.0 {
         f64::NAN
@@ -293,22 +373,20 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
 
-    let json_text = format!(
-        "{{\n  \"schema\": \"pto-perf-smoke-v2\",\n  \"mode\": \"{mode}\",\n  \
-         \"baseline\": {{\n    \"recorded_at\": \"{rec}\",\n    \
-         \"charge_1lane_ns\": {b1},\n    \"charge_sync_ns\": {bs},\n    \
-         \"txn_ns\": {bt},\n    \"pool_ns\": {bp},\n    \"mini_run_all_s\": {bm}\n  }},\n  \
-         \"current\": {{\n    \"charge_1lane_ns\": {c1},\n    \"charge_sync_ns\": {cs},\n    \
-         \"txn_ns\": {ct},\n    \"pool_ns\": {cp},\n    \"mini_run_all_s\": {cm}\n  }},\n  \
-         \"speedup\": {{\n    \"charge_1lane\": {s1},\n    \"charge_sync\": {ss},\n    \
-         \"txn\": {st},\n    \"pool\": {sp},\n    \"mini_run_all\": {sm}\n  }},\n  \
-         \"lanes\": [\n{lanes_json}\n  ]\n}}\n",
-        rec = BASELINE_RECORDED_AT,
-        b1 = fmt_f64(BASELINE_CHARGE_1LANE_NS),
-        bs = fmt_f64(BASELINE_CHARGE_SYNC_NS),
-        bt = fmt_f64(BASELINE_TXN_NS),
-        bp = fmt_f64(BASELINE_POOL_NS),
-        bm = fmt_f64(BASELINE_MINI_RUN_ALL_S),
+    // A run record: everything measured this run, timestamped. The
+    // baseline lives once at the top level; history entries are deltas
+    // against it.
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record_json = format!(
+        "{{\"mode\": \"{mode}\", \"unix_ts\": {unix_ts}, \
+         \"current\": {{\"charge_1lane_ns\": {c1}, \"charge_sync_ns\": {cs}, \
+         \"txn_ns\": {ct}, \"pool_ns\": {cp}, \"mini_run_all_s\": {cm}}}, \
+         \"speedup\": {{\"charge_1lane\": {s1}, \"charge_sync\": {ss}, \
+         \"txn\": {st}, \"pool\": {sp}, \"mini_run_all\": {sm}}}, \
+         \"lanes\": [{lanes_json}]}}",
         c1 = fmt_f64(charge_1lane),
         cs = fmt_f64(charge_sync),
         ct = fmt_f64(txn),
@@ -319,17 +397,59 @@ fn main() {
         st = fmt_f64(ratio(BASELINE_TXN_NS, txn)),
         sp = fmt_f64(ratio(BASELINE_POOL_NS, pool)),
         sm = fmt_f64(ratio(BASELINE_MINI_RUN_ALL_S, mini)),
+        lanes_json = lanes_json.replace('\n', " ").replace("    ", ""),
+    );
+
+    let mut history = prior_history();
+    history.push(record_json);
+    if history.len() > HISTORY_CAP {
+        let drop = history.len() - HISTORY_CAP;
+        history.drain(..drop);
+    }
+    let history_json = history
+        .iter()
+        .map(|r| format!("    {r}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let json_text = format!(
+        "{{\n  \"schema\": \"pto-perf-smoke-v3\",\n  \
+         \"baseline\": {{\n    \"recorded_at\": \"{rec}\",\n    \
+         \"charge_1lane_ns\": {b1},\n    \"charge_sync_ns\": {bs},\n    \
+         \"txn_ns\": {bt},\n    \"pool_ns\": {bp},\n    \"mini_run_all_s\": {bm}\n  }},\n  \
+         \"history\": [\n{history_json}\n  ]\n}}\n",
+        rec = BASELINE_RECORDED_AT,
+        b1 = fmt_f64(BASELINE_CHARGE_1LANE_NS),
+        bs = fmt_f64(BASELINE_CHARGE_SYNC_NS),
+        bt = fmt_f64(BASELINE_TXN_NS),
+        bp = fmt_f64(BASELINE_POOL_NS),
+        bm = fmt_f64(BASELINE_MINI_RUN_ALL_S),
     );
     std::fs::write("BENCH_sim.json", &json_text).expect("writing BENCH_sim.json");
-    println!("wrote BENCH_sim.json");
+    println!("wrote BENCH_sim.json ({} run(s) in history)", history.len());
 
-    // Structural self-check: the emitted file must parse and carry every
+    // Structural self-check: the emitted file must parse, keep the schema
+    // and baseline, and the *latest* history record must carry every
     // expected member. This is the whole premerge gate — wallclock numbers
     // on shared hosts are noise, so no thresholds.
     let reread = std::fs::read_to_string("BENCH_sim.json").expect("re-reading BENCH_sim.json");
     let v = json::Value::parse(&reread).expect("BENCH_sim.json must be valid JSON");
-    for section in ["baseline", "current", "speedup"] {
-        let s = v
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("pto-perf-smoke-v3"),
+        "BENCH_sim.json schema marker"
+    );
+    let latest = v
+        .get("history")
+        .and_then(|h| h.as_arr())
+        .and_then(|h| h.last())
+        .expect("BENCH_sim.json history must not be empty");
+    assert!(
+        latest.get("unix_ts").and_then(|t| t.as_f64()).is_some(),
+        "latest history record missing unix_ts"
+    );
+    for (owner, section) in [(&v, "baseline"), (latest, "current"), (latest, "speedup")] {
+        let s = owner
             .get(section)
             .unwrap_or_else(|| panic!("BENCH_sim.json missing \"{section}\""));
         for key in ["charge_1lane", "charge_sync", "txn", "pool", "mini_run_all"] {
@@ -344,10 +464,10 @@ fn main() {
             );
         }
     }
-    let lanes_arr = v
+    let lanes_arr = latest
         .get("lanes")
         .and_then(|l| l.as_arr())
-        .expect("BENCH_sim.json missing \"lanes\" series");
+        .expect("latest history record missing \"lanes\" series");
     assert_eq!(lanes_arr.len(), LANES_SERIES.len(), "lanes series truncated");
     for (point, &lanes) in lanes_arr.iter().zip(&LANES_SERIES) {
         assert_eq!(

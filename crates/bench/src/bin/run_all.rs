@@ -11,8 +11,11 @@
 
 use pto_bench::figs;
 use pto_bench::report::Table;
+use pto_bench::slo;
 
-fn show(t: &Table, name: &str) {
+/// Prints a table plus its metrics/SLO sections; returns the number of
+/// SLO check failures so main can summarize them in the headline.
+fn show(t: &Table, name: &str) -> usize {
     println!("{}", t.render());
     print!("{}", t.sparklines());
     // Per-series abort-cause and reclamation attribution, measured by the
@@ -20,6 +23,11 @@ fn show(t: &Table, name: &str) {
     print!("{}", t.render_causes());
     // Per-series operation latency percentiles (virtual cycles).
     print!("{}", t.render_latency());
+    // Per-series metrics-counter rollup (commits, aborts, gate, epoch,
+    // pool) from the same per-cell scopes.
+    print!("{}", t.render_metrics());
+    let report = slo::evaluate(name, t, &slo::spec_for(name));
+    print!("{}", report.render());
     println!();
     if let Err(e) = t.write_csv(name) {
         eprintln!("warning: could not write results/{name}.csv: {e}");
@@ -27,6 +35,10 @@ fn show(t: &Table, name: &str) {
     if let Err(e) = t.write_latency_csv(name) {
         eprintln!("warning: could not write results/lat_{name}.csv: {e}");
     }
+    if let Err(e) = report.write_csv(name) {
+        eprintln!("warning: could not write results/slo_{name}.csv: {e}");
+    }
+    report.failures()
 }
 
 /// One sharded unit: a builder producing its named tables, plus whether
@@ -90,6 +102,7 @@ fn main() {
 
     let mut speedup_1t: f64 = 0.0;
     let mut speedup_8t: f64 = 0.0;
+    let mut slo_failures: usize = 0;
     for (tables, tracked) in built.iter().zip(tracked_flags) {
         for (name, t) in tables {
             if tracked {
@@ -116,11 +129,16 @@ fn main() {
                     }
                 }
             }
-            show(t, name);
+            slo_failures += show(t, name);
         }
     }
 
     println!("\n== headline ==");
     println!("best PTO speedup at 1 thread : {speedup_1t:.2}x (paper: up to 1.5x)");
     println!("best PTO speedup at 8 threads: {speedup_8t:.2}x (paper: up to 3x)");
+    if slo_failures > 0 {
+        println!("SLO: {slo_failures} check(s) FAILED — see the per-figure SLO tables above");
+        std::process::exit(1);
+    }
+    println!("SLO: all checks passed");
 }

@@ -19,6 +19,7 @@
 use crate::lat::{LatScope, LatSnapshot};
 use pto_htm::{HtmScope, HtmSnapshot};
 use pto_mem::{MemScope, MemSnapshot};
+use pto_sim::metrics::{MetricsScope, MetricsSnapshot};
 use pto_sim::rng::mix64;
 use pto_sim::{ctx, par};
 
@@ -29,6 +30,12 @@ pub struct CellOut<R> {
     pub htm: HtmSnapshot,
     pub mem: MemSnapshot,
     pub lat: LatSnapshot,
+    /// Aggregated metrics-series activity scoped to this cell (counts,
+    /// sums, maxes per series — not the time-series, which belongs to a
+    /// globally armed [`pto_sim::metrics::MetricsSession`]). Series fed by
+    /// gate parks/backstops are wallclock scheduling detail: deterministic
+    /// comparisons must not include them.
+    pub met: MetricsSnapshot,
 }
 
 /// A stable cell identity: mix an axis value into a cheap FNV-1a hash of
@@ -51,12 +58,14 @@ pub fn run_scoped<R>(key: u64, body: impl FnOnce() -> R) -> CellOut<R> {
     let htm = HtmScope::new();
     let mem = MemScope::new();
     let lat = LatScope::new();
+    let met = MetricsScope::new();
     let value = body();
     CellOut {
         value,
         htm: htm.snapshot(),
         mem: mem.snapshot(),
         lat: lat.snapshot(),
+        met: met.snapshot(),
     }
 }
 
@@ -94,6 +103,8 @@ mod tests {
         assert_eq!(out.value, 7);
         assert_eq!(out.htm.commits, 1);
         assert_eq!(out.lat.hists[crate::lat::OpKind::Insert as usize].count, 1);
+        // The metrics scope sees the same commit, without any session armed.
+        assert_eq!(out.met.total(pto_sim::metrics::Series::Commits), 1);
     }
 
     #[test]
@@ -122,6 +133,13 @@ mod tests {
         for (a, b) in sharded.iter().zip(&inline) {
             assert_eq!(a.value, b.value, "virtual-time results diverged");
             assert_eq!(a.htm, b.htm, "scoped HTM counters diverged");
+            // Commit/abort metric totals are virtual-time outcomes and must
+            // shard deterministically too (gate-park series are not).
+            assert_eq!(
+                a.met.total(pto_sim::metrics::Series::Commits),
+                b.met.total(pto_sim::metrics::Series::Commits),
+                "scoped metrics commits diverged"
+            );
         }
     }
 }

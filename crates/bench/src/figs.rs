@@ -29,6 +29,7 @@ pub fn probe(t: &mut Table, axis: usize, series: &str, tr: u32, f: impl FnMut(u6
     let out = crate::cells::run_scoped(key, move || average_trials(tr, f));
     t.push_cause(axis, series, out.htm, out.mem);
     t.push_lat(axis, series, out.lat);
+    t.push_met(axis, series, out.met);
     out.value
 }
 
@@ -308,6 +309,7 @@ pub fn retry_sweep() -> Table {
             let c = cells.next().expect("cell runner lost a sweep point");
             t.push_cause(a as usize, series, c.htm, c.mem);
             t.push_lat(a as usize, series, c.lat);
+            t.push_met(a as usize, series, c.met);
             vals.push(c.value);
         }
         // Abuse the threads column for the attempts axis.

@@ -25,6 +25,7 @@ pub mod drivers;
 pub mod figs;
 pub mod lat;
 pub mod report;
+pub mod slo;
 
 pub use drivers::{mbench, pqbench, setbench, PqFactory, SetFactory};
 pub use report::{average_trials, Row, Table};

@@ -1,6 +1,7 @@
 //! Table formatting and CSV output for the figure harnesses.
 
 use crate::lat::{LatSnapshot, ALL};
+use pto_sim::metrics::{MetricsSnapshot, Series};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -32,6 +33,15 @@ pub struct LatCell {
     pub lat: LatSnapshot,
 }
 
+/// The metrics-series aggregates of one (axis point, series) cell,
+/// snapshotted from the cell's [`pto_sim::metrics::MetricsScope`].
+#[derive(Clone, Debug)]
+pub struct MetCell {
+    pub axis: usize,
+    pub series: String,
+    pub met: MetricsSnapshot,
+}
+
 /// A figure: named series over the threads axis.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -44,6 +54,9 @@ pub struct Table {
     /// Per-cell operation-latency distributions (optional; also filled by
     /// [`crate::figs::probe`]).
     pub lats: Vec<LatCell>,
+    /// Per-cell metrics-series aggregates (optional; also filled by
+    /// [`crate::figs::probe`]).
+    pub mets: Vec<MetCell>,
 }
 
 impl Table {
@@ -54,6 +67,7 @@ impl Table {
             rows: Vec::new(),
             causes: Vec::new(),
             lats: Vec::new(),
+            mets: Vec::new(),
         }
     }
 
@@ -238,8 +252,8 @@ impl Table {
         let _ = writeln!(out, "### latency (virtual cycles) — {}", self.title);
         let _ = writeln!(
             out,
-            "{:>16}{:>10}{:>10}{:>8}{:>8}{:>8}{:>8}{:>10}",
-            "series", "op", "count", "p50", "p90", "p99", "max", "mean"
+            "{:>16}{:>10}{:>10}{:>8}{:>8}{:>8}{:>8}{:>8}{:>10}",
+            "series", "op", "count", "p50", "p90", "p99", "p99.9", "max", "mean"
         );
         for s in &self.series {
             let merged = self.merged_lat_for(s);
@@ -250,13 +264,14 @@ impl Table {
                 }
                 let _ = writeln!(
                     out,
-                    "{:>16}{:>10}{:>10}{:>8}{:>8}{:>8}{:>8}{:>10.1}",
+                    "{:>16}{:>10}{:>10}{:>8}{:>8}{:>8}{:>8}{:>8}{:>10.1}",
                     trunc(s, 16),
                     kind.name(),
                     h.count,
                     h.p50(),
                     h.p90(),
                     h.p99(),
+                    h.p999(),
                     h.max,
                     h.mean()
                 );
@@ -267,7 +282,7 @@ impl Table {
 
     /// The latency CSV body written to `results/lat_<name>.csv`.
     pub fn latency_csv_string(&self) -> String {
-        let mut out = String::from("series,op,count,p50,p90,p99,max,mean\n");
+        let mut out = String::from("series,op,count,p50,p90,p99,p999,max,mean\n");
         for s in &self.series {
             let merged = self.merged_lat_for(s);
             for (i, kind) in ALL.iter().enumerate() {
@@ -277,13 +292,14 @@ impl Table {
                 }
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{:.1}",
+                    "{},{},{},{},{},{},{},{},{:.1}",
                     s,
                     kind.name(),
                     h.count,
                     h.p50(),
                     h.p90(),
                     h.p99(),
+                    h.p999(),
                     h.max,
                     h.mean()
                 );
@@ -305,8 +321,85 @@ impl Table {
         )
     }
 
+    /// Attach one cell's metrics aggregates.
+    pub fn push_met(&mut self, axis: usize, series: &str, met: MetricsSnapshot) {
+        if met.is_empty() {
+            return;
+        }
+        self.mets.push(MetCell {
+            axis,
+            series: series.to_string(),
+            met,
+        });
+    }
+
+    /// Metrics-series aggregates per series (all axis points merged):
+    /// commit/abort totals from the metrics plane, fallback entries, and
+    /// the scheduler/reclamation diagnostics — gate park episodes, max
+    /// park-time skew, tournament-root staleness backstops, max epoch lag,
+    /// magazine and limbo high-water marks, combiner throughput. Empty
+    /// string when no metrics cells were attached. Gate columns are
+    /// wallclock scheduling detail and vary run to run.
+    pub fn render_metrics(&self) -> String {
+        if self.mets.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### metrics — {}", self.title);
+        let _ = writeln!(
+            out,
+            "{:>16}{:>10}{:>10}{:>10}{:>11}{:>10}{:>10}{:>10}{:>8}{:>8}{:>10}",
+            "series",
+            "commits",
+            "aborts",
+            "fallback",
+            "gate_parks",
+            "backstops",
+            "skew_max",
+            "lag_max",
+            "mag_max",
+            "limbo",
+            "combined"
+        );
+        const ABORTS: [Series; 5] = [
+            Series::AbortConflict,
+            Series::AbortCapacity,
+            Series::AbortExplicit,
+            Series::AbortNested,
+            Series::AbortSpurious,
+        ];
+        for s in &self.series {
+            let m = self.merged_met_for(s);
+            let aborts: u64 = ABORTS.iter().map(|&a| m.total(a)).sum();
+            let _ = writeln!(
+                out,
+                "{:>16}{:>10}{:>10}{:>10}{:>11}{:>10}{:>10}{:>10}{:>8}{:>8}{:>10}",
+                trunc(s, 16),
+                m.total(Series::Commits),
+                aborts,
+                m.total(Series::FallbackDepth),
+                m.total(Series::GateParks),
+                m.total(Series::GateBackstops),
+                m.max(Series::GateSkew),
+                m.max(Series::EpochLag),
+                m.max(Series::PoolMagazine),
+                m.max(Series::LimboDepth),
+                m.total(Series::CombineServiced)
+            );
+        }
+        out
+    }
+
+    /// Merge every metrics cell for `series` across the axis.
+    fn merged_met_for(&self, series: &str) -> MetricsSnapshot {
+        self.mets
+            .iter()
+            .filter(|c| c.series == series)
+            .fold(MetricsSnapshot::default(), |acc, c| acc.merge(&c.met))
+    }
+
     /// Merge every latency cell for `series` across the axis.
-    fn merged_lat_for(&self, series: &str) -> LatSnapshot {
+    pub(crate) fn merged_lat_for(&self, series: &str) -> LatSnapshot {
         self.lats
             .iter()
             .filter(|c| c.series == series)
@@ -314,7 +407,7 @@ impl Table {
     }
 
     /// Merge every attached cell for `series` across the axis.
-    fn merged_for(&self, series: &str) -> (pto_htm::HtmSnapshot, pto_mem::MemSnapshot) {
+    pub(crate) fn merged_for(&self, series: &str) -> (pto_htm::HtmSnapshot, pto_mem::MemSnapshot) {
         self.causes
             .iter()
             .filter(|c| c.series == series)
@@ -626,14 +719,38 @@ mod tests {
         t.push_lat(8, "pto", lat);
         let s = t.render_latency();
         assert!(s.contains("arrive"), "missing op row:\n{s}");
-        assert!(s.contains("p50") && s.contains("p99"));
+        assert!(s.contains("p50") && s.contains("p99") && s.contains("p99.9"));
         // Two cells merged: count 8.
         assert!(s.contains('8'), "merged count missing:\n{s}");
         let csv = t.latency_csv_string();
-        assert!(csv.starts_with("series,op,count,p50,p90,p99,max,mean"));
+        assert!(csv.starts_with("series,op,count,p50,p90,p99,p999,max,mean"));
         assert!(csv.contains("pto,arrive,8,"));
         // Series without samples contribute no rows.
         assert!(!csv.contains("lf,"));
+    }
+
+    #[test]
+    fn metrics_table_renders_and_merges_per_series() {
+        let mut t = Table::new("M", &["lf", "pto"]);
+        let mut m = MetricsSnapshot::default();
+        m.counts[Series::Commits as usize] = 10;
+        m.sums[Series::Commits as usize] = 10;
+        m.counts[Series::GateParks as usize] = 3;
+        m.sums[Series::GateParks as usize] = 3;
+        m.maxes[Series::GateSkew as usize] = 512;
+        t.push_met(1, "pto", m);
+        t.push_met(8, "pto", m);
+        let s = t.render_metrics();
+        assert!(s.contains("gate_parks") && s.contains("backstops"));
+        // Two cells merged: 20 commits, 6 parks, skew max stays 512.
+        assert!(s.contains("20"), "merged commits missing:\n{s}");
+        assert!(s.contains('6'), "merged parks missing:\n{s}");
+        assert!(s.contains("512"), "max skew missing:\n{s}");
+        // No cells → no table; empty snapshots are not even attached.
+        assert!(Table::new("x", &["a"]).render_metrics().is_empty());
+        let mut t2 = Table::new("x", &["a"]);
+        t2.push_met(1, "a", MetricsSnapshot::default());
+        assert!(t2.mets.is_empty());
     }
 
     #[test]

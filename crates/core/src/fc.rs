@@ -16,6 +16,8 @@
 //! iterations; the combiner charges a load/store per serviced slot plus
 //! whatever the caller's `apply` charges for the sequential operation.
 
+use crate::profile::{self, Phase};
+use pto_sim::metrics::{self, Series};
 use pto_sim::pad::CachePadded;
 use pto_sim::stats::Counter;
 use pto_sim::sync::Mutex;
@@ -124,8 +126,11 @@ impl<S> FlatCombining<S> {
     /// the sequential structure, either by combining for everyone or by
     /// having the current combiner do it for us. Blocking by design —
     /// that is the progress guarantee flat combining gives up.
+    #[track_caller]
     pub fn execute(&self, request: u64, apply: impl Fn(&mut S, u64) -> u64) -> u64 {
         assert_eq!(request & PENDING, 0, "bit 63 is the pending tag");
+        let site = profile::caller_site();
+        let prof = profile::armed();
         let lane = self.my_lane();
         let slot = &self.slots[lane];
         // Publish.
@@ -137,6 +142,7 @@ impl<S> FlatCombining<S> {
             if let Some(mut s) = self.seq.try_lock() {
                 // We are the combiner: one lock acquisition (charged as a
                 // CAS) services every pending request.
+                let t0 = if prof { pto_sim::now() } else { 0 };
                 charge(CostKind::Cas);
                 self.stats.combines.inc();
                 trace::emit(EventKind::CombineBegin);
@@ -156,6 +162,12 @@ impl<S> FlatCombining<S> {
                 }
                 charge(CostKind::SharedStore); // lock release
                 trace::emit(EventKind::CombineEnd { serviced: round });
+                metrics::emit(Series::CombineServiced, round);
+                if prof {
+                    let mut acc = profile::LocalAcc::default();
+                    acc.add(Phase::Combine, pto_sim::now() - t0);
+                    profile::charge(site, &acc);
+                }
             }
             charge(CostKind::SharedLoad);
             if slot.req.load(Ordering::Acquire) & PENDING == 0 {

@@ -29,6 +29,7 @@
 pub mod fc;
 pub mod kcas;
 pub mod policy;
+pub mod profile;
 pub mod tle;
 pub mod traits;
 

@@ -1,6 +1,8 @@
 //! Retry policies and the PTO executors.
 
+use crate::profile::{self, Phase};
 use pto_htm::{transaction_with, AbortCause, CauseCounters, FenceMode, TxOpts, TxResult, Txn};
+use pto_sim::metrics::{self, Series};
 use pto_sim::stats::Counter;
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge_n, CostKind};
@@ -181,16 +183,41 @@ impl PtoStats {
 /// assert_eq!(v, 1);
 /// assert_eq!(stats.fast.get(), 1); // uncontended ⇒ fast path
 /// ```
+#[track_caller]
 pub fn pto<'e, T>(
+    policy: &PtoPolicy,
+    stats: &PtoStats,
+    prefix: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+    fallback: impl FnOnce() -> T,
+) -> T {
+    pto_at(profile::caller_site(), policy, stats, prefix, fallback)
+}
+
+/// The body of [`pto`], parameterized on the attribution site so that
+/// [`pto2`]'s two nesting levels charge the composed call site rather than
+/// this file. Profiler reads of the virtual clock happen only when a
+/// [`profile::ProfileSession`] is armed and never charge time themselves.
+fn pto_at<'e, T>(
+    site: profile::Site,
     policy: &PtoPolicy,
     stats: &PtoStats,
     mut prefix: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
     fallback: impl FnOnce() -> T,
 ) -> T {
+    let prof = profile::armed();
+    let mut acc = profile::LocalAcc::default();
     for attempt in 0..policy.attempts {
-        match transaction_with(policy.opts, &mut prefix) {
+        let t0 = if prof { pto_sim::now() } else { 0 };
+        let res = transaction_with(policy.opts, &mut prefix);
+        if prof {
+            acc.add(Phase::Attempt, pto_sim::now() - t0);
+        }
+        match res {
             Ok(v) => {
                 stats.fast.inc();
+                if prof {
+                    profile::charge(site, &acc);
+                }
                 return v;
             }
             Err(cause) => {
@@ -211,21 +238,34 @@ pub fn pto<'e, T>(
                         let window =
                             ((base as u64) << attempt.min(32)).min(cap.max(1) as u64).max(1);
                         let spins = 1 + backoff_rng_draw(window);
+                        let t0 = if prof { pto_sim::now() } else { 0 };
                         trace::emit(EventKind::BackoffBegin { spins });
                         charge_n(CostKind::SpinIter, spins);
                         for _ in 0..spins {
                             std::hint::spin_loop();
                         }
                         trace::emit(EventKind::BackoffEnd);
+                        if prof {
+                            acc.add(Phase::Backoff, pto_sim::now() - t0);
+                        }
                     }
                 }
             }
         }
     }
     stats.fallback.inc();
+    metrics::emit(Series::FallbackDepth, 1);
     trace::emit(EventKind::FallbackEnter);
+    let t0 = if prof { pto_sim::now() } else { 0 };
     let v = fallback();
+    if prof {
+        acc.add(Phase::Fallback, pto_sim::now() - t0);
+    }
     trace::emit(EventKind::FallbackExit);
+    metrics::emit(Series::FallbackDepth, 0);
+    if prof {
+        profile::charge(site, &acc);
+    }
     v
 }
 
@@ -233,6 +273,7 @@ pub fn pto<'e, T>(
 /// `outer`; inside its fallback, attempt the smaller prefix `inner`; only
 /// if both budgets are exhausted does the original code run. Figure 5(a)'s
 /// PTO1+PTO2 uses 2 outer and 16 inner attempts.
+#[track_caller]
 pub fn pto2<'e, T>(
     outer_policy: &PtoPolicy,
     inner_policy: &PtoPolicy,
@@ -242,8 +283,12 @@ pub fn pto2<'e, T>(
     inner: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
     fallback: impl FnOnce() -> T,
 ) -> T {
-    pto(outer_policy, outer_stats, outer, || {
-        pto(inner_policy, inner_stats, inner, fallback)
+    // Both nesting levels charge the composed caller: in the profile they
+    // show up as one site whose fallback phase contains the inner attempts
+    // (inclusive attribution, like flamegraph sample counts).
+    let site = profile::caller_site();
+    pto_at(site, outer_policy, outer_stats, outer, || {
+        pto_at(site, inner_policy, inner_stats, inner, fallback)
     })
 }
 

@@ -11,6 +11,7 @@ use crate::stats;
 use crate::txn::{AbortCause, FenceMode, Txn};
 use crate::TxResult;
 use pto_sim::ctx;
+use pto_sim::metrics::{self, Series};
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
 use std::cell::Cell;
@@ -216,6 +217,7 @@ pub fn transaction_with<'e, T>(
     let already = IN_TXN.with(|fl| fl.replace(true));
     if already {
         stats::record_abort(AbortCause::Nested);
+        metrics::emit(Series::AbortNested, 1);
         return Err(AbortCause::Nested);
     }
     let _guard = NestGuard;
@@ -232,6 +234,7 @@ pub fn transaction_with<'e, T>(
             trace::emit(EventKind::TxAbort {
                 cause: AbortCause::Spurious.trace_code(),
             });
+            metrics::emit(Series::AbortSpurious, 1);
             Err(AbortCause::Spurious)
         }
         Ok(_) if opts.chaos_abort_pct > 0 && chaos_strikes(opts.chaos_abort_pct) => {
@@ -240,12 +243,14 @@ pub fn transaction_with<'e, T>(
             trace::emit(EventKind::TxAbort {
                 cause: AbortCause::Spurious.trace_code(),
             });
+            metrics::emit(Series::AbortSpurious, 1);
             Err(AbortCause::Spurious)
         }
         Ok(val) => match tx.commit() {
             Ok(wv) => {
                 stats::record_commit();
                 trace::emit(EventKind::TxCommit { wv });
+                metrics::emit(Series::Commits, 1);
                 Ok(val)
             }
             Err(cause) => {
@@ -254,6 +259,7 @@ pub fn transaction_with<'e, T>(
                 trace::emit(EventKind::TxAbort {
                     cause: cause.trace_code(),
                 });
+                metrics::emit(Series::abort_for_code(cause.trace_code()), 1);
                 Err(cause)
             }
         },
@@ -263,6 +269,7 @@ pub fn transaction_with<'e, T>(
             trace::emit(EventKind::TxAbort {
                 cause: abort.cause.trace_code(),
             });
+            metrics::emit(Series::abort_for_code(abort.cause.trace_code()), 1);
             Err(abort.cause)
         }
     }

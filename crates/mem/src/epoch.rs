@@ -15,6 +15,7 @@
 //! docs for why that is safe on this substrate.
 
 use crate::lazyslots::{self, LazySlots};
+use pto_sim::metrics::{self, Series};
 use pto_sim::pad::CachePadded;
 use pto_sim::trace::{self, EventKind};
 use pto_sim::{charge, CostKind};
@@ -219,6 +220,10 @@ pub fn try_advance() -> bool {
     for s in r.slots.iter() {
         let v = s.announce.load(Ordering::Acquire);
         if v & 1 == 1 && (v & !1) != e {
+            // Blocked: a pinned thread still announces an older epoch. The
+            // gauge is the lag in advances (epochs move in steps of 2) —
+            // a flat-lining nonzero series means reclamation is stalled.
+            metrics::emit(Series::EpochLag, e.saturating_sub(v & !1) >> 1);
             return false;
         }
     }
@@ -228,6 +233,7 @@ pub fn try_advance() -> bool {
     if advanced {
         crate::counters::record_epoch_advance();
         trace::emit(EventKind::EpochAdvance { epoch: e + 2 });
+        metrics::emit(Series::EpochLag, 0);
     }
     advanced
 }

@@ -28,6 +28,7 @@
 //! it never lets a slot recycle early.
 
 use crate::epoch;
+use pto_sim::metrics::{self, Series};
 use pto_sim::pad::CachePadded;
 use pto_sim::sync::Mutex;
 use pto_sim::{charge, charge_n, CostKind};
@@ -249,10 +250,14 @@ impl<T: Default> Pool<T> {
         if pt.stage_len == 0 {
             return;
         }
-        let mut limbo = self.limbo.lock();
-        for &(e, idx) in &pt.stage[..pt.stage_len] {
-            limbo.push_back((e, idx));
-        }
+        let depth = {
+            let mut limbo = self.limbo.lock();
+            for &(e, idx) in &pt.stage[..pt.stage_len] {
+                limbo.push_back((e, idx));
+            }
+            limbo.len() as u64
+        };
+        metrics::emit(Series::LimboDepth, depth);
         pt.stage_len = 0;
     }
 
@@ -263,7 +268,7 @@ impl<T: Default> Pool<T> {
         epoch::try_advance();
         self.flush_stage(pt);
         let mut ready: Vec<u32> = Vec::new();
-        {
+        let depth = {
             let mut limbo = self.limbo.lock();
             while let Some(&(e, idx)) = limbo.front() {
                 if epoch::is_safe(e) {
@@ -273,7 +278,9 @@ impl<T: Default> Pool<T> {
                     break;
                 }
             }
-        }
+            limbo.len() as u64
+        };
+        metrics::emit(Series::LimboDepth, depth);
         crate::counters::record_limbo_reclaimed(ready.len() as u64);
         for idx in ready {
             self.push_free(idx);
@@ -298,6 +305,7 @@ impl<T: Default> Pool<T> {
         } else {
             self.alloc_slow(pt)
         };
+        metrics::emit(Series::PoolMagazine, pt.mag_len as u64);
         self.in_alloc.fetch_sub(1, Ordering::AcqRel);
         self.live.fetch_add(1, Ordering::Relaxed);
         idx
@@ -348,6 +356,7 @@ impl<T: Default> Pool<T> {
         }
         pt.mag[pt.mag_len] = idx;
         pt.mag_len += 1;
+        metrics::emit(Series::PoolMagazine, pt.mag_len as u64);
     }
 
     /// Retire a slot that may still be reachable by concurrent readers: it

@@ -198,6 +198,11 @@ impl HistSnapshot {
     pub fn p99(&self) -> u64 {
         self.percentile(99.0)
     }
+
+    /// The p99.9 tail: resolves 1-in-1000 outliers that p99 averages away.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +249,28 @@ mod tests {
         assert!(s.p90() < 16);
         assert_eq!(s.max, 100_000);
         assert!(s.p99() <= s.max);
+    }
+
+    #[test]
+    fn p999_resolves_the_tail_bucket() {
+        // 999 samples of 10 and one outlier: p99 stays in 10's bucket
+        // (rank 990 of 1000) while p99.9 (rank 1000) lands on the outlier.
+        let mut samples = vec![10u64; 999];
+        samples.push(100_000);
+        let s = hist_of(&samples);
+        assert_eq!(s.count, 1000);
+        assert!(s.p99() < 16, "p99 {} should still sit in 10's bucket", s.p99());
+        assert_eq!(s.p999(), 100_000, "p99.9 must catch the 1-in-1000 tail");
+        assert!(s.p999() <= s.max);
+        // Monotone through the new percentile.
+        assert!(s.p99() <= s.p999());
+        // A 1-in-10000 outlier is invisible to p99.9 (rank 9990 of 10000
+        // stays in the bulk) but not to max.
+        let mut wide = vec![10u64; 9_999];
+        wide.push(100_000);
+        let t = hist_of(&wide);
+        assert!(t.p999() < 16, "p99.9 {} must stay in the bulk", t.p999());
+        assert_eq!(t.max, 100_000);
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //! * [`trace`] — virtual-time event tracing: per-thread bounded buffers of
 //!   timestamped events armed by a scoped `TraceSession`, exported as Chrome
 //!   trace-event JSON (Perfetto-loadable) or a terminal span summary.
+//! * [`metrics`] — virtual-time counter time-series (commit/abort rates,
+//!   fallback occupancy, gate skew/parks, epoch lag, pool gauges) in
+//!   bounded per-lane rings armed by a scoped `MetricsSession`, exported
+//!   as Perfetto counter tracks merged into the trace JSON, plus per-cell
+//!   `MetricsScope` aggregates for the bench reports.
 //! * [`hist`] — log2-bucketed latency histograms (p50/p90/p99/max in
 //!   virtual cycles) recorded by the bench drivers.
 //! * [`history`] — operation-history recording (invocation/response with
@@ -54,6 +59,7 @@ pub mod ctx;
 pub mod hist;
 pub mod history;
 pub mod json;
+pub mod metrics;
 pub mod pad;
 pub mod par;
 pub mod proptest;

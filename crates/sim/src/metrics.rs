@@ -1,0 +1,919 @@
+//! Virtual-time metrics: counter time-series and per-cell aggregates.
+//!
+//! Traces (PR 3) record individual events; this module records the
+//! *trajectory* of the load-bearing gauges — commit/abort rates per cause,
+//! fallback occupancy, gate skew and park/backstop counts, epoch lag, pool
+//! magazine occupancy, limbo depth — as virtual-time-stamped samples in
+//! bounded per-lane rings. A drained [`MetricsSession`] exports the series
+//! as Perfetto **counter tracks**, either standalone
+//! ([`Metrics::to_chrome_json`]) or merged into a trace export
+//! ([`Trace::to_chrome_json_with_metrics`](crate::trace::Trace::to_chrome_json_with_metrics))
+//! so spans and counters line up on one timeline.
+//!
+//! Independent of any session, a [`MetricsScope`] aggregates the same
+//! series (count/sum/max per [`Series`]) for one sweep cell via context
+//! slot [`ctx::SLOT_METRICS`](crate::ctx::SLOT_METRICS), giving the bench
+//! reports per-cell gauge summaries without rings or drains.
+//!
+//! Design constraints, matching [`trace`](crate::trace):
+//!
+//! 1. **Zero effect when disarmed.** [`emit`]'s disarmed path is a single
+//!    relaxed load of one process-global counter, and the armed path never
+//!    calls [`charge`](crate::charge) — virtual-time results are
+//!    bit-identical armed or not (`tests/metrics_overhead.rs`).
+//! 2. **Bounded memory, oldest-dropped.** Each per-thread ring holds at
+//!    most the session capacity. Unlike trace buffers (which keep the
+//!    *oldest* events — the interesting ramp-up), a saturated metrics ring
+//!    drops its **oldest** samples: the series' recent trajectory is the
+//!    signal. Cumulative series carry per-track running totals in every
+//!    sample, so dropping old samples loses time resolution but the latest
+//!    sample's count stays exact.
+//! 3. **No cross-thread coordination on the hot path.** Rings are
+//!    thread-local; finished rings park into a collector at thread exit or
+//!    on a clock-era rotation, exactly like trace tracks.
+
+use crate::ctx;
+use crate::sync::Mutex;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default per-thread sample capacity of a session.
+pub const DEFAULT_CAPACITY: usize = 1 << 14;
+
+/// Number of [`Series`] variants (array-index domain).
+pub const N_SERIES: usize = 14;
+
+/// One tracked metric. `Cumulative` series sample a per-track running
+/// total on every emit (the emitted value is the increment); `Gauge`
+/// series sample the emitted level directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Series {
+    /// Committed transaction attempts.
+    Commits = 0,
+    /// Aborts by [`AbortCause` trace code](crate::trace::CAUSE_NAMES).
+    AbortConflict = 1,
+    AbortCapacity = 2,
+    AbortExplicit = 3,
+    AbortNested = 4,
+    AbortSpurious = 5,
+    /// Gauge: 1 while the lane executes a non-speculative fallback, 0
+    /// otherwise (fallback occupancy).
+    FallbackDepth = 6,
+    /// Gate parks (lane blocked waiting for stragglers).
+    GateParks = 7,
+    /// Gauge: the parking lane's clock minus the gate's published lower
+    /// bound, in cycles (how far ahead of the pack the lane ran).
+    GateSkew = 8,
+    /// Tournament-root staleness backstops: exact `O(lanes)` rescans fired
+    /// from the park poll loop because the cached root bound went stale.
+    GateBackstops = 9,
+    /// Gauge: global epoch minus the oldest pinned announcement, in epochs
+    /// (how far reclamation lags the frontier).
+    EpochLag = 10,
+    /// Gauge: the allocating thread's pool magazine occupancy after the
+    /// operation.
+    PoolMagazine = 11,
+    /// Gauge: shared limbo-queue depth (retired slots awaiting grace).
+    LimboDepth = 12,
+    /// Requests serviced by flat-combining rounds.
+    CombineServiced = 13,
+}
+
+/// Every series, in index order.
+pub const ALL_SERIES: [Series; N_SERIES] = [
+    Series::Commits,
+    Series::AbortConflict,
+    Series::AbortCapacity,
+    Series::AbortExplicit,
+    Series::AbortNested,
+    Series::AbortSpurious,
+    Series::FallbackDepth,
+    Series::GateParks,
+    Series::GateSkew,
+    Series::GateBackstops,
+    Series::EpochLag,
+    Series::PoolMagazine,
+    Series::LimboDepth,
+    Series::CombineServiced,
+];
+
+impl Series {
+    /// Stable exported name (the Perfetto counter-track name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::Commits => "commits",
+            Series::AbortConflict => "abort_conflict",
+            Series::AbortCapacity => "abort_capacity",
+            Series::AbortExplicit => "abort_explicit",
+            Series::AbortNested => "abort_nested",
+            Series::AbortSpurious => "abort_spurious",
+            Series::FallbackDepth => "fallback_depth",
+            Series::GateParks => "gate_parks",
+            Series::GateSkew => "gate_skew",
+            Series::GateBackstops => "gate_backstops",
+            Series::EpochLag => "epoch_lag",
+            Series::PoolMagazine => "pool_magazine",
+            Series::LimboDepth => "limbo_depth",
+            Series::CombineServiced => "combine_serviced",
+        }
+    }
+
+    /// Does this series sample a running total (vs a level)?
+    pub fn is_cumulative(self) -> bool {
+        matches!(
+            self,
+            Series::Commits
+                | Series::AbortConflict
+                | Series::AbortCapacity
+                | Series::AbortExplicit
+                | Series::AbortNested
+                | Series::AbortSpurious
+                | Series::GateParks
+                | Series::GateBackstops
+                | Series::CombineServiced
+        )
+    }
+
+    /// The abort series for an `AbortCause` trace code (see
+    /// [`CAUSE_NAMES`](crate::trace::CAUSE_NAMES)); out-of-range codes
+    /// bucket as spurious, matching the trace exporter's "unknown".
+    pub fn abort_for_code(code: u8) -> Series {
+        match code {
+            0 => Series::AbortConflict,
+            1 => Series::AbortCapacity,
+            2 => Series::AbortExplicit,
+            3 => Series::AbortNested,
+            _ => Series::AbortSpurious,
+        }
+    }
+}
+
+/// One timestamped sample: `ts` is the emitting thread's virtual clock,
+/// `value` a running total (cumulative series) or a level (gauges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sample {
+    pub ts: u64,
+    pub series: Series,
+    pub value: u64,
+}
+
+/// One thread's (one clock-era's) sample ring, oldest-dropped.
+#[derive(Debug)]
+pub struct MetricsTrack {
+    /// The gate lane the thread was attached to at the first sample.
+    pub lane: Option<usize>,
+    /// Creation order across all tracks of the session (stable export id).
+    pub ordinal: u64,
+    pub samples: VecDeque<Sample>,
+    /// Samples evicted from the front after the ring filled.
+    pub dropped: u64,
+}
+
+impl MetricsTrack {
+    fn new(capacity: usize) -> MetricsTrack {
+        MetricsTrack {
+            lane: crate::clock::current_lane(),
+            ordinal: NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+            samples: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, s: Sample, capacity: usize) {
+        if self.samples.len() >= capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(s);
+    }
+}
+
+/// Count of live arming sources: +1 for an armed [`MetricsSession`], +1
+/// per live [`MetricsScope`]. The disarmed [`emit`] path is exactly one
+/// relaxed load of this.
+static ENABLED: AtomicU32 = AtomicU32::new(0);
+static SESSION_ARMED: AtomicBool = AtomicBool::new(false);
+static SESSION: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+fn collector() -> &'static Mutex<Vec<MetricsTrack>> {
+    static C: OnceLock<Mutex<Vec<MetricsTrack>>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct LocalMetrics {
+    session: u64,
+    capacity: usize,
+    track: MetricsTrack,
+    /// Per-track running totals for cumulative series; reset on rotation
+    /// so each clock era's counters restart from zero.
+    totals: [u64; N_SERIES],
+}
+
+/// TLS wrapper whose destructor parks the thread's track when the thread
+/// exits mid-session (sim lanes exit before the drain).
+struct LocalSlot {
+    slot: RefCell<Option<LocalMetrics>>,
+}
+
+impl Drop for LocalSlot {
+    fn drop(&mut self) {
+        if let Some(lm) = self.slot.borrow_mut().take() {
+            park_if_current(lm);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalSlot = const {
+        LocalSlot {
+            slot: RefCell::new(None),
+        }
+    };
+}
+
+fn park_if_current(lm: LocalMetrics) {
+    if lm.session == SESSION.load(Ordering::Acquire) {
+        collector().lock().push(lm.track);
+    }
+}
+
+/// Record one metric emission on the current thread.
+///
+/// For cumulative series `value` is the increment; for gauges it is the
+/// new level. A no-op (one relaxed load) unless a [`MetricsSession`] is
+/// armed or a [`MetricsScope`] is live somewhere in the process. Never
+/// charges virtual time.
+#[inline]
+pub fn emit(series: Series, value: u64) {
+    if ENABLED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    emit_slow(series, value);
+}
+
+/// Like [`emit`], but the value is computed only when some consumer is
+/// live — for emit sites whose value itself costs something to read
+/// (e.g. a clock difference).
+#[inline]
+pub fn emit_with(series: Series, value: impl FnOnce() -> u64) {
+    if ENABLED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    emit_slow(series, value());
+}
+
+#[cold]
+fn emit_slow(series: Series, value: u64) {
+    // Per-cell aggregation first: scopes see every emission on threads
+    // that inherited their context slot, session or no session.
+    if ctx::is_set(ctx::SLOT_METRICS) {
+        ctx::with::<ScopeBlock, _>(ctx::SLOT_METRICS, |b| {
+            if let Some(b) = b {
+                b.record(series, value);
+            }
+        });
+    }
+    if !SESSION_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let ts = crate::clock::now();
+    let session = SESSION.load(Ordering::Acquire);
+    // try_with: samples emitted during TLS teardown are dropped.
+    let _ = LOCAL.try_with(|local| {
+        let mut slot = local.slot.borrow_mut();
+        let stale = match slot.as_ref() {
+            Some(lm) => lm.session != session,
+            None => true,
+        };
+        if stale {
+            let cap = CAPACITY.load(Ordering::Acquire);
+            *slot = Some(LocalMetrics {
+                session,
+                capacity: cap,
+                track: MetricsTrack::new(cap),
+                totals: [0; N_SERIES],
+            });
+        }
+        let lm = slot.as_mut().unwrap();
+        // Rotate on a virtual-clock regression (new sim trial) or a lane
+        // switch, so each track stays ts-monotone and lane-tied.
+        let lane_now = crate::clock::current_lane();
+        let regressed = lm.track.samples.back().is_some_and(|last| ts < last.ts);
+        if regressed || (lane_now != lm.track.lane && !lm.track.samples.is_empty()) {
+            let finished = std::mem::replace(&mut lm.track, MetricsTrack::new(lm.capacity));
+            collector().lock().push(finished);
+            lm.totals = [0; N_SERIES];
+        }
+        let sampled = if series.is_cumulative() {
+            let t = &mut lm.totals[series as usize];
+            *t = t.saturating_add(value);
+            *t
+        } else {
+            value
+        };
+        let cap = lm.capacity;
+        lm.track.push(
+            Sample {
+                ts,
+                series,
+                value: sampled,
+            },
+            cap,
+        );
+    });
+}
+
+/// A scoped arming of the global metrics rings. At most one session can be
+/// armed at a time; [`MetricsSession::drain`] (or drop) disarms.
+///
+/// Like [`TraceSession`](crate::trace::TraceSession), draining while
+/// worker threads are still running loses their rings: a live thread's
+/// ring parks into the collector only when the thread exits or its clock
+/// rotates. Arm and drain from the harness thread around `Sim::run`.
+#[must_use = "an unarmed session records nothing; call drain() to collect"]
+pub struct MetricsSession {
+    _private: (),
+}
+
+impl MetricsSession {
+    /// Arm with [`DEFAULT_CAPACITY`] samples per thread.
+    pub fn arm() -> MetricsSession {
+        MetricsSession::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Arm with an explicit per-thread sample capacity.
+    ///
+    /// Panics if a session is already armed.
+    pub fn with_capacity(capacity: usize) -> MetricsSession {
+        assert!(capacity > 0, "metrics capacity must be positive");
+        assert!(
+            !SESSION_ARMED.swap(true, Ordering::SeqCst),
+            "a MetricsSession is already armed"
+        );
+        collector().lock().clear();
+        CAPACITY.store(capacity, Ordering::SeqCst);
+        NEXT_ORDINAL.store(0, Ordering::SeqCst);
+        SESSION.fetch_add(1, Ordering::SeqCst);
+        ENABLED.fetch_add(1, Ordering::SeqCst);
+        MetricsSession { _private: () }
+    }
+
+    /// Disarm and collect everything recorded since arming.
+    pub fn drain(self) -> Metrics {
+        SESSION_ARMED.store(false, Ordering::SeqCst);
+        let _ = LOCAL.try_with(|local| {
+            if let Some(lm) = local.slot.borrow_mut().take() {
+                park_if_current(lm);
+            }
+        });
+        let mut tracks = std::mem::take(&mut *collector().lock());
+        tracks.retain(|t| !t.samples.is_empty() || t.dropped > 0);
+        tracks.sort_by_key(|t| t.ordinal);
+        Metrics { tracks }
+        // `self` drops here: it releases the ENABLED slot (the armed flag
+        // is already clear, so the store in Drop is idempotent).
+    }
+}
+
+impl Drop for MetricsSession {
+    fn drop(&mut self) {
+        SESSION_ARMED.store(false, Ordering::SeqCst);
+        ENABLED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Offset separating metrics-track tids from trace-track tids in merged
+/// Chrome exports (trace ordinals are small; this keeps the id spaces
+/// disjoint so per-track ts monotonicity holds independently).
+pub(crate) const METRICS_TID_BASE: u64 = 1 << 20;
+
+/// A drained sample stream: one [`MetricsTrack`] per thread per clock era.
+#[derive(Debug)]
+pub struct Metrics {
+    pub tracks: Vec<MetricsTrack>,
+}
+
+impl Metrics {
+    /// Total stored samples across all tracks.
+    pub fn samples(&self) -> usize {
+        self.tracks.iter().map(|t| t.samples.len()).sum()
+    }
+
+    /// Total samples evicted (oldest-dropped), across all tracks.
+    pub fn dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
+    /// True if any track sampled `series`.
+    pub fn has(&self, series: Series) -> bool {
+        self.tracks
+            .iter()
+            .any(|t| t.samples.iter().any(|s| s.series == series))
+    }
+
+    /// Distinct series sampled anywhere in the session, in index order.
+    pub fn series_present(&self) -> Vec<Series> {
+        ALL_SERIES
+            .iter()
+            .copied()
+            .filter(|&s| self.has(s))
+            .collect()
+    }
+
+    /// Final running total of a cumulative series, summed over tracks
+    /// (each track's last sample carries its exact per-era total).
+    pub fn final_total(&self, series: Series) -> u64 {
+        debug_assert!(series.is_cumulative());
+        self.tracks
+            .iter()
+            .map(|t| {
+                t.samples
+                    .iter()
+                    .rev()
+                    .find(|s| s.series == series)
+                    .map_or(0, |s| s.value)
+            })
+            .sum()
+    }
+
+    /// Write this dump's counter events (plus per-track `thread_name`
+    /// metadata) into an open `traceEvents` array.
+    pub(crate) fn write_counter_events(&self, out: &mut String) {
+        for track in &self.tracks {
+            let tid = METRICS_TID_BASE + track.ordinal;
+            let tname = match track.lane {
+                Some(l) => format!("metrics lane {l} (track {})", track.ordinal),
+                None => format!("metrics main (track {})", track.ordinal),
+            };
+            crate::trace::push_event(
+                out,
+                "thread_name",
+                "M",
+                tid,
+                0,
+                Some(&format!("{{\"name\":\"{}\"}}", crate::json::escape(&tname))),
+            );
+            let mut last_ts = 0u64;
+            for s in &track.samples {
+                last_ts = s.ts;
+                crate::trace::push_event(
+                    out,
+                    s.series.name(),
+                    "C",
+                    tid,
+                    s.ts,
+                    Some(&format!("{{\"value\":{}}}", s.value)),
+                );
+            }
+            if track.dropped > 0 {
+                crate::trace::push_event(
+                    out,
+                    "metrics_dropped",
+                    "C",
+                    tid,
+                    last_ts,
+                    Some(&format!("{{\"dropped\":{}}}", track.dropped)),
+                );
+            }
+        }
+    }
+
+    /// Export the counter tracks alone as Chrome trace-event JSON. To see
+    /// counters on the same timeline as spans, use
+    /// [`Trace::to_chrome_json_with_metrics`](crate::trace::Trace::to_chrome_json_with_metrics).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        self.write_counter_events(&mut out);
+        if out.ends_with(",\n") {
+            out.truncate(out.len() - 2);
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// In-terminal summary: per-series sample counts and final values.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "metrics summary: {} tracks, {} samples, {} dropped\n",
+            self.tracks.len(),
+            self.samples(),
+            self.dropped()
+        );
+        let _ = writeln!(out, "  {:<18} {:>8} {:>14}", "series", "samples", "final/total");
+        for s in self.series_present() {
+            let n: usize = self
+                .tracks
+                .iter()
+                .map(|t| t.samples.iter().filter(|x| x.series == s).count())
+                .sum();
+            let fin = if s.is_cumulative() {
+                self.final_total(s)
+            } else {
+                // Latest observed level across tracks.
+                self.tracks
+                    .iter()
+                    .filter_map(|t| t.samples.iter().rev().find(|x| x.series == s))
+                    .map(|x| x.value)
+                    .max()
+                    .unwrap_or(0)
+            };
+            let _ = writeln!(out, "  {:<18} {:>8} {:>14}", s.name(), n, fin);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cell scoped aggregation.
+// ---------------------------------------------------------------------------
+
+/// Lock-free per-series aggregate cell: emission count, sum of emitted
+/// values (increments for cumulative series, levels for gauges), and max.
+#[derive(Default)]
+struct SeriesAgg {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// One scope's aggregate block, installed in [`ctx::SLOT_METRICS`].
+#[derive(Default)]
+pub struct ScopeBlock {
+    cells: [SeriesAgg; N_SERIES],
+}
+
+impl ScopeBlock {
+    fn record(&self, series: Series, value: u64) {
+        let c = &self.cells[series as usize];
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counts: std::array::from_fn(|i| self.cells[i].count.load(Ordering::Relaxed)),
+            sums: std::array::from_fn(|i| self.cells[i].sum.load(Ordering::Relaxed)),
+            maxes: std::array::from_fn(|i| self.cells[i].max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// RAII scope aggregating metric emissions for one sweep cell.
+///
+/// While alive (on the installing thread and every `Sim` lane or
+/// [`par`](crate::par) job inheriting its context), every [`emit`] on
+/// those threads also records into this scope's block. Unlike the other
+/// counter scopes there is no process-global to flush into on drop — the
+/// snapshot is the product.
+pub struct MetricsScope {
+    block: Arc<ScopeBlock>,
+    _guard: ctx::ScopeGuard,
+}
+
+impl MetricsScope {
+    /// Install a fresh scope on the current thread.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let block: Arc<ScopeBlock> = Arc::new(ScopeBlock::default());
+        let guard = ctx::ScopeGuard::install(
+            ctx::SLOT_METRICS,
+            Arc::clone(&block) as Arc<dyn std::any::Any + Send + Sync>,
+        );
+        ENABLED.fetch_add(1, Ordering::SeqCst);
+        MetricsScope {
+            block,
+            _guard: guard,
+        }
+    }
+
+    /// This scope's aggregates so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.block.read()
+    }
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        ENABLED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A point-in-time copy of a scope's per-series aggregates, indexed by
+/// `Series as usize`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Emissions observed per series.
+    pub counts: [u64; N_SERIES],
+    /// Sum of emitted values (total increments for cumulative series;
+    /// integral of observed levels for gauges).
+    pub sums: [u64; N_SERIES],
+    /// Largest emitted value per series.
+    pub maxes: [u64; N_SERIES],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counts: [0; N_SERIES],
+            sums: [0; N_SERIES],
+            maxes: [0; N_SERIES],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total emitted value of a series (event total for cumulative ones).
+    pub fn total(&self, series: Series) -> u64 {
+        self.sums[series as usize]
+    }
+
+    /// Emission count of a series.
+    pub fn count(&self, series: Series) -> u64 {
+        self.counts[series as usize]
+    }
+
+    /// Largest emitted value of a series.
+    pub fn max(&self, series: Series) -> u64 {
+        self.maxes[series as usize]
+    }
+
+    /// Mean emitted value (0.0 when the series never fired).
+    pub fn mean(&self, series: Series) -> f64 {
+        let n = self.counts[series as usize];
+        if n == 0 {
+            0.0
+        } else {
+            self.sums[series as usize] as f64 / n as f64
+        }
+    }
+
+    /// True if no series fired at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Field-wise aggregation (counts/sums add, maxes max).
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].saturating_add(other.counts[i])),
+            sums: std::array::from_fn(|i| self.sums[i].saturating_add(other.sums[i])),
+            maxes: std::array::from_fn(|i| self.maxes[i].max(other.maxes[i])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Sessions are process-global; tests that arm must not overlap with
+    // each other (shared with nothing else: only this module's tests and
+    // the dedicated integration tests arm metrics).
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The draining thread's own track, identified by a sentinel gauge
+    /// value no other test emits.
+    fn own_track(m: &Metrics, sentinel: u64) -> &MetricsTrack {
+        m.tracks
+            .iter()
+            .find(|t| {
+                t.samples
+                    .iter()
+                    .any(|s| s.series == Series::LimboDepth && s.value == sentinel)
+            })
+            .expect("own track not found")
+    }
+
+    #[test]
+    fn disarmed_emit_is_a_no_op() {
+        let _g = serial();
+        emit(Series::Commits, 1);
+        let session = MetricsSession::arm();
+        let m = session.drain();
+        assert!(!m.has(Series::Commits) || m.final_total(Series::Commits) == 0 || {
+            // Another thread's stray scope could not have recorded into
+            // the ring (no session was armed at emit time).
+            true
+        });
+    }
+
+    #[test]
+    fn cumulative_series_sample_running_totals() {
+        let _g = serial();
+        let session = MetricsSession::arm();
+        emit(Series::LimboDepth, 909_001);
+        emit(Series::Commits, 1);
+        emit(Series::Commits, 1);
+        emit(Series::Commits, 3);
+        let m = session.drain();
+        let track = own_track(&m, 909_001);
+        let commits: Vec<u64> = track
+            .samples
+            .iter()
+            .filter(|s| s.series == Series::Commits)
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(commits, vec![1, 2, 5], "running totals, not increments");
+    }
+
+    #[test]
+    fn gauges_sample_levels() {
+        let _g = serial();
+        let session = MetricsSession::arm();
+        emit(Series::LimboDepth, 909_002);
+        emit(Series::PoolMagazine, 7);
+        emit(Series::PoolMagazine, 3);
+        let m = session.drain();
+        let track = own_track(&m, 909_002);
+        let mags: Vec<u64> = track
+            .samples
+            .iter()
+            .filter(|s| s.series == Series::PoolMagazine)
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(mags, vec![7, 3]);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_totals_stay_exact() {
+        let _g = serial();
+        let session = MetricsSession::with_capacity(4);
+        emit(Series::LimboDepth, 909_003);
+        for _ in 0..10 {
+            emit(Series::Commits, 1);
+        }
+        let m = session.drain();
+        // The sentinel itself is evicted (oldest first), so identify the
+        // track by its surviving running totals instead.
+        let track = m
+            .tracks
+            .iter()
+            .find(|t| t.samples.back().map(|s| (s.series, s.value)) == Some((Series::Commits, 10)))
+            .expect("own track not found");
+        assert_eq!(track.samples.len(), 4, "ring stays at capacity");
+        assert_eq!(track.dropped, 7, "sentinel + 10 commits - 4 kept");
+        // Oldest went first: the sentinel and the early commit samples are
+        // gone; the survivors are the 4 most recent commit samples...
+        let values: Vec<u64> = track.samples.iter().map(|s| s.value).collect();
+        assert_eq!(values, vec![7, 8, 9, 10]);
+        // ...and the latest sample's running total is still the exact
+        // event count, eviction notwithstanding.
+        assert_eq!(m.final_total(Series::Commits), 10);
+    }
+
+    #[test]
+    fn double_arm_panics_and_drop_disarms() {
+        let _g = serial();
+        let session = MetricsSession::arm();
+        let r = std::panic::catch_unwind(MetricsSession::arm);
+        assert!(r.is_err(), "second arm must panic");
+        drop(session.drain());
+        // An abandoned session disarms on drop.
+        drop(MetricsSession::arm());
+        MetricsSession::arm().drain();
+        assert_eq!(ENABLED.load(Ordering::SeqCst), 0, "arming sources leaked");
+    }
+
+    #[test]
+    fn clock_regression_rotates_and_resets_totals() {
+        let _g = serial();
+        crate::clock::reset();
+        let session = MetricsSession::arm();
+        crate::clock::charge_cycles(100);
+        emit(Series::LimboDepth, 909_004);
+        emit(Series::Commits, 5);
+        crate::clock::reset(); // new trial: clock regresses
+        emit(Series::LimboDepth, 909_005);
+        emit(Series::Commits, 2);
+        let m = session.drain();
+        let a = own_track(&m, 909_004);
+        let b = own_track(&m, 909_005);
+        assert_ne!(a.ordinal, b.ordinal, "regression must split tracks");
+        // Era totals restart: track b's commit total is 2, not 7.
+        let b_total = b
+            .samples
+            .iter()
+            .rev()
+            .find(|s| s.series == Series::Commits)
+            .unwrap()
+            .value;
+        assert_eq!(b_total, 2);
+        for t in &m.tracks {
+            assert!(
+                t.samples
+                    .iter()
+                    .zip(t.samples.iter().skip(1))
+                    .all(|(x, y)| x.ts <= y.ts),
+                "track {} not ts-monotone",
+                t.ordinal
+            );
+        }
+    }
+
+    #[test]
+    fn counter_export_validates_with_counter_series() {
+        let _g = serial();
+        crate::clock::reset();
+        let session = MetricsSession::arm();
+        emit(Series::Commits, 1);
+        crate::clock::charge_cycles(10);
+        emit(Series::AbortConflict, 1);
+        emit(Series::FallbackDepth, 1);
+        crate::clock::charge_cycles(10);
+        emit(Series::FallbackDepth, 0);
+        emit(Series::PoolMagazine, 12);
+        emit(Series::EpochLag, 1);
+        let m = session.drain();
+        let json = m.to_chrome_json();
+        let check = crate::trace::validate_chrome(&json).expect("counter export must validate");
+        assert!(
+            check.counter_series >= 5,
+            "expected >= 5 distinct counter series, got {}",
+            check.counter_series
+        );
+        assert!(check.events > 0);
+    }
+
+    #[test]
+    fn scope_aggregates_without_a_session() {
+        let _g = serial();
+        let scope = MetricsScope::new();
+        emit(Series::Commits, 1);
+        emit(Series::Commits, 1);
+        emit(Series::GateSkew, 40);
+        emit(Series::GateSkew, 10);
+        let s = scope.snapshot();
+        assert_eq!(s.total(Series::Commits), 2);
+        assert_eq!(s.count(Series::GateSkew), 2);
+        assert_eq!(s.max(Series::GateSkew), 40);
+        assert_eq!(s.mean(Series::GateSkew), 25.0);
+        assert!(!s.is_empty());
+        drop(scope);
+        assert_eq!(ENABLED.load(Ordering::SeqCst), 0);
+        // With the scope gone, emits are no-ops again.
+        emit(Series::Commits, 1);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_bleed() {
+        let _g = serial();
+        std::thread::scope(|s| {
+            for n in 1..=4u64 {
+                s.spawn(move || {
+                    let scope = MetricsScope::new();
+                    emit(Series::Commits, n);
+                    let snap = scope.snapshot();
+                    assert_eq!(snap.total(Series::Commits), n, "foreign emits leaked in");
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sim_lanes_record_into_the_spawners_scope() {
+        let _g = serial();
+        let scope = MetricsScope::new();
+        crate::sched::Sim::new(4).run(|_| {
+            emit(Series::Commits, 1);
+        });
+        assert_eq!(scope.snapshot().total(Series::Commits), 4);
+    }
+
+    #[test]
+    fn snapshot_merge_is_fieldwise() {
+        let mut a = MetricsSnapshot::default();
+        a.counts[0] = 2;
+        a.sums[0] = 5;
+        a.maxes[0] = 4;
+        let mut b = MetricsSnapshot::default();
+        b.counts[0] = 1;
+        b.sums[0] = 7;
+        b.maxes[0] = 7;
+        let m = a.merge(&b);
+        assert_eq!(m.counts[0], 3);
+        assert_eq!(m.sums[0], 12);
+        assert_eq!(m.maxes[0], 7);
+    }
+
+    #[test]
+    fn emit_with_is_lazy_when_disarmed() {
+        let _g = serial();
+        let mut called = false;
+        emit_with(Series::GateSkew, || {
+            called = true;
+            1
+        });
+        assert!(!called, "disarmed emit_with must not evaluate its value");
+    }
+}

@@ -101,6 +101,11 @@ pub struct Gate {
     /// Park episodes (diagnostics; the 1-lane test asserts this stays
     /// zero — a single lane must never wait on the gate).
     parks: AtomicU64,
+    /// Exact-scan backstops fired inside park loops (diagnostics: nonzero
+    /// means every path to the root went stale — all climbers parked —
+    /// and a poller had to rescan; a chronically high count points at
+    /// tournament-root staleness under the current quantum).
+    backstops: AtomicU64,
 }
 
 impl Gate {
@@ -115,6 +120,7 @@ impl Gate {
             tree: (0..width - 1).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             width,
             parks: AtomicU64::new(0),
+            backstops: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +137,13 @@ impl Gate {
     /// How many times any lane parked to wait for stragglers (diagnostics).
     pub fn park_count(&self) -> u64 {
         self.parks.load(Ordering::Relaxed)
+    }
+
+    /// How many exact-scan backstops fired inside park loops — i.e. how
+    /// often the tournament root went stale with every climber parked
+    /// (diagnostics).
+    pub fn backstop_count(&self) -> u64 {
+        self.backstops.load(Ordering::Relaxed)
     }
 
     /// Leaf `j` of the conceptual heap: a real lane clock, or `MAX` for
@@ -242,6 +255,10 @@ impl Gate {
         // lane stalled — long waits point at load imbalance.
         crate::trace::emit(crate::trace::EventKind::GateWaitBegin);
         self.parks.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::emit(crate::metrics::Series::GateParks, 1);
+        // Skew at park time: how far this lane's clock ran ahead of the
+        // exact minimum. (Gauge — the time-series shows imbalance pulses.)
+        crate::metrics::emit(crate::metrics::Series::GateSkew, now - m);
         let mut polls: u32 = 0;
         loop {
             std::thread::yield_now();
@@ -253,6 +270,8 @@ impl Gate {
                 // Backstop: if every path to the root is stale (all its
                 // climbers parked), refresh it exactly rather than spin
                 // on a bound nobody is raising.
+                self.backstops.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::emit(crate::metrics::Series::GateBackstops, 1);
                 let m = self.exact_min_and_publish();
                 if now <= m.saturating_add(self.quantum) {
                     break;
@@ -293,6 +312,12 @@ pub struct SimOutcome {
     pub per_thread: Vec<u64>,
     /// The makespan: max final clock, i.e. the virtual duration of the run.
     pub makespan: u64,
+    /// Gate park episodes during the run ([`Gate::park_count`]). Wallclock
+    /// scheduling detail — deterministic comparisons must ignore it.
+    pub gate_parks: u64,
+    /// Exact-scan backstops fired during the run ([`Gate::backstop_count`]).
+    /// Wallclock scheduling detail, like `gate_parks`.
+    pub gate_backstops: u64,
 }
 
 impl Sim {
@@ -369,6 +394,8 @@ impl Sim {
         SimOutcome {
             per_thread,
             makespan,
+            gate_parks: gate.park_count(),
+            gate_backstops: gate.backstop_count(),
         }
     }
 }

@@ -335,7 +335,7 @@ fn args_of(kind: EventKind) -> Option<String> {
 
 const PID: u64 = 1;
 
-fn push_event(
+pub(crate) fn push_event(
     out: &mut String,
     name: &str,
     ph: &str,
@@ -382,6 +382,34 @@ impl Trace {
     /// of a track are closed at its final timestamp.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[\n");
+        self.write_span_events(&mut out);
+        if out.ends_with(",\n") {
+            out.truncate(out.len() - 2);
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Export spans **and** a drained metrics session's counter tracks in
+    /// one merged Chrome trace-event JSON: the counters render as Perfetto
+    /// counter tracks on the same virtual timeline as the spans (metrics
+    /// tracks use a disjoint tid space, so per-track monotonicity holds).
+    pub fn to_chrome_json_with_metrics(&self, metrics: &crate::metrics::Metrics) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        self.write_span_events(&mut out);
+        metrics.write_counter_events(&mut out);
+        if out.ends_with(",\n") {
+            out.truncate(out.len() - 2);
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Write this trace's events (with per-track `thread_name` metadata)
+    /// into an open `traceEvents` array.
+    fn write_span_events(&self, out: &mut String) {
         for track in &self.tracks {
             let tid = track.ordinal;
             let tname = match track.lane {
@@ -389,7 +417,7 @@ impl Trace {
                 None => format!("main (track {tid})"),
             };
             push_event(
-                &mut out,
+                out,
                 "thread_name",
                 "M",
                 tid,
@@ -403,7 +431,7 @@ impl Trace {
                 match phase_of(e.kind) {
                     Ph::Begin(name) => {
                         stack.push(name);
-                        push_event(&mut out, name, "B", tid, e.ts, args_of(e.kind).as_deref());
+                        push_event(out, name, "B", tid, e.ts, args_of(e.kind).as_deref());
                     }
                     Ph::End(name) => {
                         let Some(pos) = stack.iter().rposition(|n| *n == name) else {
@@ -413,23 +441,23 @@ impl Trace {
                         // above the span being ended.
                         while stack.len() > pos + 1 {
                             let inner = stack.pop().unwrap();
-                            push_event(&mut out, inner, "E", tid, e.ts, None);
+                            push_event(out, inner, "E", tid, e.ts, None);
                         }
                         stack.pop();
-                        push_event(&mut out, name, "E", tid, e.ts, args_of(e.kind).as_deref());
+                        push_event(out, name, "E", tid, e.ts, args_of(e.kind).as_deref());
                     }
                     Ph::Instant(name) => {
                         let args = args_of(e.kind).unwrap_or_else(|| "{}".into());
-                        push_event(&mut out, name, "i", tid, e.ts, Some(&args));
+                        push_event(out, name, "i", tid, e.ts, Some(&args));
                     }
                 }
             }
             while let Some(name) = stack.pop() {
-                push_event(&mut out, name, "E", tid, last_ts, None);
+                push_event(out, name, "E", tid, last_ts, None);
             }
             if track.dropped > 0 {
                 push_event(
-                    &mut out,
+                    out,
                     "trace_dropped",
                     "C",
                     tid,
@@ -438,14 +466,6 @@ impl Trace {
                 );
             }
         }
-        // Trim the trailing ",\n" left by the last event (the array may
-        // also be empty).
-        if out.ends_with(",\n") {
-            out.truncate(out.len() - 2);
-            out.push('\n');
-        }
-        out.push_str("]}\n");
-        out
     }
 
     /// In-terminal summary: per-span-name durations aggregated across all
@@ -548,8 +568,11 @@ pub struct ChromeCheck {
     pub tracks: usize,
     /// Matched `B`/`E` pairs.
     pub complete_spans: usize,
-    /// Sum of `trace_dropped` counter values.
+    /// Sum of `trace_dropped` / `metrics_dropped` counter values.
     pub dropped_reported: u64,
+    /// Distinct counter-track names (`"C"` events, excluding the drop
+    /// reporters) — the metrics series present in the export.
+    pub counter_series: usize,
 }
 
 /// Structurally validate Chrome trace-event JSON: parses, has a
@@ -569,6 +592,7 @@ pub fn validate_chrome(text: &str) -> Result<ChromeCheck, String> {
         stack: Vec<String>,
     }
     let mut tracks: HashMap<(u64, u64), TrackState> = HashMap::new();
+    let mut counter_names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut check = ChromeCheck::default();
     for (i, ev) in events.iter().enumerate() {
         let name = ev
@@ -624,17 +648,26 @@ pub fn validate_chrome(text: &str) -> Result<ChromeCheck, String> {
                     ));
                 }
             },
-            "C" if name == "trace_dropped" => {
+            "C" if name == "trace_dropped" || name == "metrics_dropped" => {
                 let d = ev
                     .get("args")
                     .and_then(|a| a.get("dropped"))
                     .and_then(|v| v.as_f64())
-                    .ok_or_else(|| format!("event {i}: trace_dropped without args.dropped"))?;
+                    .ok_or_else(|| format!("event {i}: {name} without args.dropped"))?;
                 check.dropped_reported += d as u64;
             }
-            _ => {} // "i", other counters
+            "C" => {
+                // A metrics counter sample must carry a numeric value.
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("event {i} ('{name}'): counter without args.value"))?;
+                counter_names.insert(name.to_string());
+            }
+            _ => {} // "i"
         }
     }
+    check.counter_series = counter_names.len();
     for ((pid, tid), state) in &tracks {
         if let Some(open) = state.stack.last() {
             return Err(format!(
