@@ -21,6 +21,9 @@ timeout 30 cargo run -q --release -p pto-bench --bin metrics_smoke
 echo "== perf smoke: wallclock hot paths + BENCH_sim.json structural check"
 cargo run -q --release -p pto-bench --bin perf_smoke -- --check
 
+echo "== adaptive smoke: self-tuning policy beats/matches static budgets per regime"
+timeout 30 cargo run -q --release -p pto-bench --bin adaptive_sweep -- --smoke
+
 echo "== lincheck smoke: linearizability sweep, variant cells sharded across cores"
 timeout 30 cargo run -q --release -p pto-bench --bin lincheck -- --smoke
 

@@ -83,6 +83,13 @@ impl Tally {
     }
 }
 
+/// attempts=1 + middle_streak=1: contended ops land on the single-orec
+/// middle path after their first same-granule conflict, so the injected
+/// (odd) schedules exercise the HTM -> middle -> fallback demotion chain.
+fn middle_forced() -> pto_core::AdaptivePolicy {
+    pto_core::AdaptivePolicy::new(pto_core::PtoPolicy::with_attempts(1)).with_middle_streak(1)
+}
+
 const FIFO_PREFILL: [u64; 3] = [1 << 40, 2 << 40, 3 << 40];
 const SET_PREFILL: [u64; 6] = [1, 5, 9, 13, 17, 21];
 const PQ_PREFILL: [u64; 3] = [3, 11, 19];
@@ -141,6 +148,8 @@ fn main() {
         Job { name: "skiplist/pto", kind: Kind::Set(|| Box::new(SkipListSet::new_pto()), &SET_PREFILL) },
         Job { name: "bst/lockfree", kind: Kind::Set(|| Box::new(Bst::new(BstVariant::LockFree)), &SET_PREFILL) },
         Job { name: "bst/pto1pto2", kind: Kind::Set(|| Box::new(Bst::new(BstVariant::Pto1Pto2)), &SET_PREFILL) },
+        Job { name: "bst/adaptive-middle", kind: Kind::Set(|| Box::new(Bst::with_adaptive(middle_forced(), middle_forced())), &SET_PREFILL) },
+        Job { name: "skiplist/adaptive-middle", kind: Kind::Set(|| Box::new(SkipListSet::new_adaptive_with(middle_forced())), &SET_PREFILL) },
         Job { name: "mound/lockfree", kind: Kind::Pq(|| Box::new(Mound::new_lockfree(10)), &PQ_PREFILL) },
         Job { name: "mound/pto", kind: Kind::Pq(|| Box::new(Mound::new_pto(10)), &PQ_PREFILL) },
         Job { name: "skipqueue/lockfree", kind: Kind::Pq(|| Box::new(SkipQueue::new_lockfree()), &PQ_PREFILL) },

@@ -1,7 +1,7 @@
 //! CI smoke test for the metrics, attribution, and SLO subsystems (run by
 //! `ci/premerge.sh`).
 //!
-//! Four checks, each fatal on failure:
+//! Five checks, each fatal on failure:
 //!
 //! 1. **Counter tracks** — a traced *and* metered chaos workload exports
 //!    merged Chrome/Perfetto JSON (spans + counter tracks) that passes the
@@ -15,6 +15,11 @@
 //!    three observer sessions armed vs disarmed.
 //! 4. **SLO gate** — a mini fig2a-style table evaluates against the
 //!    compiled-in rails and must pass, writing `results/slo_smoke.csv`.
+//! 5. **Adaptive policy counters** — a workload with the self-tuning
+//!    policy armed must emit all three `policy.*` series: a
+//!    capacity-doomed site flips regime (`policy.adapt_flips`), every
+//!    grant samples `policy.site_budget`, and a deterministically armed
+//!    single-orec middle path records `policy.middle_entries`.
 
 use pto_bench::cells;
 use pto_bench::drivers::{mbench, setbench};
@@ -44,11 +49,15 @@ fn workload() -> f64 {
 }
 
 /// Deterministic lane-private workload for the overhead check (same
-/// discipline as `tests/metrics_overhead.rs`: no chaos, no conflicts).
+/// discipline as `tests/metrics_overhead.rs`: no chaos, no conflicts —
+/// each lane owns its word, because lanes inside one gate quantum run
+/// physically concurrently and a shared word would make the abort count,
+/// and so the charged virtual time, depend on real thread interleaving).
 fn det_workload() -> (u64, Vec<u64>) {
     pto_sim::clock::reset();
-    let word = pto_htm::TxWord::new(0);
+    let words: Vec<pto_htm::TxWord> = (0..4).map(|_| pto_htm::TxWord::new(0)).collect();
     let out = pto_sim::Sim::new(4).run(|lane| {
+        let word = &words[lane];
         let policy = PtoPolicy::with_attempts(3);
         let stats = pto_core::policy::PtoStats::new();
         for _ in 0..(100 + lane as u64) {
@@ -56,11 +65,11 @@ fn det_workload() -> (u64, Vec<u64>) {
                 &policy,
                 &stats,
                 |tx| {
-                    let v = tx.read(&word)?;
-                    tx.write(&word, v + 1)?;
+                    let v = tx.read(word)?;
+                    tx.write(word, v + 1)?;
                     Ok(())
                 },
-                || (),
+                || unreachable!("lane-private word: the prefix cannot abort"),
             );
         }
     });
@@ -175,6 +184,90 @@ fn main() {
     println!(
         "slo: {} checks passed -> results/slo_smoke.csv",
         report.results.len()
+    );
+
+    // --- 5. Adaptive-policy counter series. ----------------------------
+    let msession = MetricsSession::arm();
+    pto_sim::clock::reset();
+    pto_sim::Sim::new(1).run(|_| {
+        use pto_core::policy::{pto_adaptive, AdaptivePolicy, PtoStats};
+        // (a) Regime flip: a write set over the cap dooms every HTM
+        // attempt, driving the site Healthy -> Capacity (adapt_flips) and
+        // sampling site_budget on every grant.
+        let words: Vec<pto_htm::TxWord> = (0..8).map(|_| pto_htm::TxWord::new(0)).collect();
+        let cap_ap = AdaptivePolicy::new(PtoPolicy::with_attempts(2).with_write_cap(2))
+            .with_middle_streak(u32::MAX);
+        let cap_stats = PtoStats::new();
+        for _ in 0..64 {
+            pto_adaptive(
+                &cap_ap,
+                &cap_stats,
+                |tx| {
+                    for w in &words {
+                        let v = tx.read(w)?;
+                        tx.write(w, v + 1)?;
+                    }
+                    Ok(())
+                },
+                || (),
+            );
+        }
+        // (b) Middle entries: arm the same-granule streak with real
+        // conflicts against a guard-held orec, release the guard, then
+        // doom each op's single remaining HTM attempt by hand so the op
+        // takes the owned-orec middle path (same dance as the pto-core
+        // unit test, all at one adaptive call site).
+        let w = pto_htm::TxWord::new(0);
+        let ap = AdaptivePolicy::new(PtoPolicy::with_attempts(2)).with_middle_streak(2);
+        let stats = PtoStats::new();
+        let mut guard = Some(pto_htm::try_acquire_orec(w.orec_index(), 8).expect("uncontended"));
+        let invocation = std::cell::Cell::new(0u32);
+        for op in 0..12u32 {
+            if op == 6 {
+                guard = None;
+            }
+            let released = guard.is_none();
+            invocation.set(0);
+            pto_adaptive(
+                &ap,
+                &stats,
+                |tx| {
+                    invocation.set(invocation.get() + 1);
+                    let v = tx.read(&w)?;
+                    if released && invocation.get() == 1 {
+                        return Err(pto_htm::Abort {
+                            cause: pto_htm::AbortCause::Conflict,
+                        });
+                    }
+                    tx.write(&w, v + 1)?;
+                    Ok(())
+                },
+                || (),
+            );
+        }
+        assert!(
+            stats.middle.get() > 0,
+            "armed middle path absorbed no ops (streak never armed?)"
+        );
+    });
+    let metrics = msession.drain();
+    // `policy.site_budget` is a gauge (per-grant level), so presence is
+    // the check; the other two are cumulative and must have counted up.
+    assert!(
+        metrics.has(Series::PolicySiteBudget),
+        "adaptive leg sampled no policy.site_budget gauge"
+    );
+    for s in [Series::PolicyMiddleEntries, Series::PolicyAdaptFlips] {
+        assert!(
+            metrics.final_total(s) > 0,
+            "adaptive leg emitted no samples on required series {:?}",
+            s
+        );
+    }
+    println!(
+        "adaptive counters: site_budget sampled, middle_entries {}, adapt_flips {}",
+        metrics.final_total(Series::PolicyMiddleEntries),
+        metrics.final_total(Series::PolicyAdaptFlips),
     );
     println!("metrics smoke: OK");
 }

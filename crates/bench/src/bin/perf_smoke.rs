@@ -10,6 +10,12 @@
 //! the whole perf trajectory of this checkout, not just the latest run.
 //! A v2 (or corrupt) file is replaced by a fresh v3 file with a one-entry
 //! history; the array is capped at the most recent [`HISTORY_CAP`] runs.
+//! Records sharing a `(mode, unix_ts)` identity are re-runs of the same
+//! measurement and are deduplicated (newest wins) rather than appended,
+//! and a soft regression rail prints a warning when a just-measured
+//! metric is more than [`RAIL_FACTOR`]× worse than its median over the
+//! last [`RAIL_WINDOW`] records — a visible nudge, never a hard failure,
+//! because wallclock on shared hosts is noise.
 //!
 //! Paths timed:
 //!
@@ -295,10 +301,10 @@ fn value_to_json(v: &json::Value, out: &mut String) {
     }
 }
 
-/// The serialized history records of an existing v3 `BENCH_sim.json`,
+/// The parsed history records of an existing v3 `BENCH_sim.json`,
 /// oldest first. A missing, corrupt, or pre-v3 file yields an empty
 /// history (the trajectory restarts rather than blocking the run).
-fn prior_history() -> Vec<String> {
+fn prior_history() -> Vec<json::Value> {
     let Ok(text) = std::fs::read_to_string("BENCH_sim.json") else {
         return Vec::new();
     };
@@ -310,17 +316,68 @@ fn prior_history() -> Vec<String> {
         println!("  (existing BENCH_sim.json pre-v3 — starting a fresh history)");
         return Vec::new();
     }
-    let Some(records) = v.get("history").and_then(|h| h.as_arr()) else {
-        return Vec::new();
-    };
-    records
-        .iter()
-        .map(|r| {
-            let mut s = String::new();
-            value_to_json(r, &mut s);
-            s
-        })
-        .collect()
+    match v.get("history").and_then(|h| h.as_arr()) {
+        Some(records) => records.to_vec(),
+        None => Vec::new(),
+    }
+}
+
+/// Identity of a run record for dedupe: two records from the same second
+/// in the same mode are re-runs of the same measurement, not two points
+/// of the trajectory.
+fn record_key(r: &json::Value) -> Option<(String, u64)> {
+    let mode = r.get("mode")?.as_str()?.to_string();
+    let ts = r.get("unix_ts")?.as_f64()? as u64;
+    Some((mode, ts))
+}
+
+/// Append `record` to `history`, *replacing* (in place) any existing
+/// record with the same `(mode, unix_ts)` identity: repeated premerge
+/// runs within one second must not duplicate trajectory points. Applied
+/// to every record so a previously-duplicated file heals on rewrite.
+fn push_deduped(history: &mut Vec<json::Value>, record: json::Value) {
+    if let Some(key) = record_key(&record) {
+        if let Some(slot) = history.iter().position(|r| record_key(r) == Some(key.clone())) {
+            history[slot] = record;
+            return;
+        }
+    }
+    history.push(record);
+}
+
+/// How many trailing history records the soft regression rail medians over.
+const RAIL_WINDOW: usize = 10;
+/// A current metric more than this factor worse than its trailing median
+/// prints a warning (never fails: wallclock on shared hosts is noise).
+const RAIL_FACTOR: f64 = 1.5;
+
+/// Soft regression rail: compare each just-measured metric against the
+/// median of the same metric over the last [`RAIL_WINDOW`] history
+/// records, and *warn* when it is more than [`RAIL_FACTOR`]× worse.
+/// Wallclock on a shared CI host is far too noisy for a hard gate, but a
+/// sustained regression shows up here without anyone diffing the file.
+fn soft_regression_rail(history: &[json::Value], current: &[(&str, f64)]) {
+    let recent = &history[history.len().saturating_sub(RAIL_WINDOW)..];
+    for &(key, now) in current {
+        let mut prior: Vec<f64> = recent
+            .iter()
+            .filter_map(|r| r.get("current")?.get(key)?.as_f64())
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        if prior.is_empty() || !now.is_finite() {
+            continue;
+        }
+        prior.sort_by(|a, b| a.total_cmp(b));
+        let median = prior[prior.len() / 2];
+        if now > RAIL_FACTOR * median {
+            println!(
+                "  WARN: {key} = {now:.2} is {:.2}x the trailing median {median:.2} \
+                 (> {RAIL_FACTOR}x rail, {} prior run(s))",
+                now / median,
+                prior.len()
+            );
+        }
+    }
 }
 
 fn ratio(baseline: f64, current: f64) -> f64 {
@@ -400,15 +457,38 @@ fn main() {
         lanes_json = lanes_json.replace('\n', " ").replace("    ", ""),
     );
 
-    let mut history = prior_history();
-    history.push(record_json);
+    let prior = prior_history();
+    soft_regression_rail(
+        &prior,
+        &[
+            ("charge_1lane_ns", charge_1lane),
+            ("charge_sync_ns", charge_sync),
+            ("txn_ns", txn),
+            ("pool_ns", pool),
+            ("mini_run_all_s", mini),
+        ],
+    );
+
+    // Rebuild the history with the per-(mode, unix_ts) dedupe so a file
+    // that already carries duplicates heals, then append this run.
+    let mut history: Vec<json::Value> = Vec::new();
+    for r in prior {
+        push_deduped(&mut history, r);
+    }
+    let record =
+        json::Value::parse(&record_json).expect("perf_smoke emitted an unparseable record");
+    push_deduped(&mut history, record);
     if history.len() > HISTORY_CAP {
         let drop = history.len() - HISTORY_CAP;
         history.drain(..drop);
     }
     let history_json = history
         .iter()
-        .map(|r| format!("    {r}"))
+        .map(|r| {
+            let mut s = String::new();
+            value_to_json(r, &mut s);
+            format!("    {s}")
+        })
         .collect::<Vec<_>>()
         .join(",\n");
 
@@ -464,6 +544,31 @@ fn main() {
             );
         }
     }
+    // The history must be a clean trajectory: timestamps non-decreasing,
+    // and no two records sharing a (mode, unix_ts) identity (the dedupe
+    // above guarantees both; this catches a regression in it).
+    let all_records = v
+        .get("history")
+        .and_then(|h| h.as_arr())
+        .expect("BENCH_sim.json history must be an array");
+    let mut keys_seen = Vec::new();
+    let mut prev_ts = 0u64;
+    for r in all_records {
+        if let Some(key) = record_key(r) {
+            assert!(
+                key.1 >= prev_ts,
+                "history timestamps went backwards ({} after {prev_ts})",
+                key.1
+            );
+            prev_ts = key.1;
+            assert!(
+                !keys_seen.contains(&key),
+                "duplicate history record for (mode, unix_ts) = {key:?}"
+            );
+            keys_seen.push(key);
+        }
+    }
+
     let lanes_arr = latest
         .get("lanes")
         .and_then(|l| l.as_arr())

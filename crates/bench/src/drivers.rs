@@ -65,6 +65,55 @@ pub fn setbench<S: ConcurrentSet>(
     ops_per_ms(total_ops.load(Ordering::Relaxed), out.makespan)
 }
 
+/// setbench with a phase-changing op mix: each lane runs the phases in
+/// order inside ONE simulated run (no clock reset between phases), so a
+/// policy tuned for the first phase carries its state — good or bad —
+/// into the next. Each phase is `(ops_per_thread, lookup_pct)`; updates
+/// stay 50/50 insert/remove. Returns overall ops/ms of the whole run.
+pub fn setbench_phased<S: ConcurrentSet>(
+    factory: impl Fn() -> S,
+    threads: usize,
+    phases: &[(u64, u64)],
+    range: u64,
+    seed: u64,
+) -> f64 {
+    let s = factory();
+    let mut rng = XorShift64::new(seed ^ 0xDEAD_BEEF);
+    let mut inserted = 0;
+    while inserted < range / 2 {
+        if s.insert(rng.below(range)) {
+            inserted += 1;
+        }
+    }
+    let _ = std::hint::black_box(s.len());
+    pto_sim::clock::reset();
+    let total_ops = AtomicU64::new(0);
+    let out = Sim::new(threads).run(|lane| {
+        let mut rng = XorShift64::new(seed.wrapping_add(lane as u64 * 0x9E37_79B9 + 1));
+        let mut lane_ops = 0u64;
+        for &(ops, lookup_pct) in phases {
+            for _ in 0..ops {
+                let k = rng.below(range);
+                let roll = rng.below(100);
+                let t0 = pto_sim::now();
+                if roll < lookup_pct {
+                    std::hint::black_box(s.contains(k));
+                    lat::record(OpKind::Contains, pto_sim::now() - t0);
+                } else if rng.chance(1, 2) {
+                    std::hint::black_box(s.insert(k));
+                    lat::record(OpKind::Insert, pto_sim::now() - t0);
+                } else {
+                    std::hint::black_box(s.remove(k));
+                    lat::record(OpKind::Remove, pto_sim::now() - t0);
+                }
+            }
+            lane_ops += ops;
+        }
+        total_ops.fetch_add(lane_ops, Ordering::Relaxed);
+    });
+    ops_per_ms(total_ops.load(Ordering::Relaxed), out.makespan)
+}
+
 /// pqbench: 50/50 push(random)/pop; pop on empty returns null (§4.1).
 /// Prefilled with `range/2` random keys so pops mostly succeed.
 pub fn pqbench<Q: PriorityQueue>(

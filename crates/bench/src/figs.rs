@@ -477,6 +477,141 @@ pub fn extra_list() -> Table {
     t
 }
 
+/// One row of the [`adaptive_sweep`] workload matrix.
+pub struct AdaptiveWorkload {
+    pub name: &'static str,
+    /// The op mix changes mid-run. The adaptive win condition here is
+    /// "strictly better than every static", vs "within 2% of the best
+    /// static" on single-phase regimes.
+    pub phase_changing: bool,
+    /// `(ops_per_thread, lookup_pct)` per phase; updates are 50/50
+    /// insert/remove ([`crate::drivers::setbench_phased`]).
+    pub phases: Vec<(u64, u64)>,
+    pub range: u64,
+    /// Simulated HTM write-set capacity (a machine parameter: applied to
+    /// every series equally).
+    pub cap: usize,
+}
+
+/// The workload matrix: four single-phase regimes that each favour a
+/// different static budget, then the phase-changing runs where no static
+/// can win both halves. `cap = 2` makes the BST's three-write delete
+/// prefix capacity-doomed while its two-write insert prefix still fits —
+/// the per-call-site signal the adaptive policy exists to exploit.
+pub fn adaptive_workloads(ops: u64) -> Vec<AdaptiveWorkload> {
+    let half = (ops / 2).max(1);
+    vec![
+        AdaptiveWorkload {
+            name: "write",
+            phase_changing: false,
+            phases: vec![(ops, 0)],
+            range: 512,
+            cap: 512,
+        },
+        AdaptiveWorkload {
+            name: "read",
+            phase_changing: false,
+            phases: vec![(ops, 100)],
+            range: 512,
+            cap: 512,
+        },
+        AdaptiveWorkload {
+            name: "conflict",
+            phase_changing: false,
+            phases: vec![(ops, 0)],
+            range: 16,
+            cap: 512,
+        },
+        AdaptiveWorkload {
+            name: "capacity",
+            phase_changing: false,
+            phases: vec![(ops, 0)],
+            range: 512,
+            cap: 2,
+        },
+        AdaptiveWorkload {
+            name: "load-query",
+            phase_changing: true,
+            phases: vec![(half, 0), (half, 100)],
+            range: 512,
+            cap: 2,
+        },
+        AdaptiveWorkload {
+            name: "mixed-read",
+            phase_changing: true,
+            phases: vec![(half, 10), (half, 95)],
+            range: 8,
+            cap: 512,
+        },
+    ]
+}
+
+/// Series of the adaptive sweep: three static budgets bracketing the
+/// paper's tuning, plus the self-tuning policy over the same base.
+pub const ADAPTIVE_SERIES: [&str; 4] = ["static0", "static2", "static8", "adaptive"];
+
+/// A composed (PTO1 over PTO2) BST with static budgets and a machine cap.
+pub fn bst_static(outer: u32, inner: u32, cap: usize) -> Bst {
+    Bst::with_policies(
+        BstVariant::Pto1Pto2,
+        PtoPolicy::with_attempts(outer).with_write_cap(cap),
+        PtoPolicy::with_attempts(inner).with_write_cap(cap),
+    )
+}
+
+/// The adaptive BST over the paper's (2, 16) base, same machine cap.
+pub fn bst_adaptive(cap: usize) -> Bst {
+    use pto_core::policy::AdaptivePolicy;
+    Bst::with_adaptive(
+        AdaptivePolicy::new(PtoPolicy::with_attempts(2).with_write_cap(cap)),
+        AdaptivePolicy::new(PtoPolicy::with_attempts(16).with_write_cap(cap)),
+    )
+}
+
+/// Run one (workload, series) cell of the adaptive sweep at 8 threads.
+pub fn adaptive_cell(wl: &AdaptiveWorkload, series: usize, trials: u32) -> f64 {
+    use crate::drivers::setbench_phased;
+    average_trials(trials, |seed| match series {
+        0 => setbench_phased(|| bst_static(0, 0, wl.cap), 8, &wl.phases, wl.range, seed),
+        1 => setbench_phased(|| bst_static(2, 16, wl.cap), 8, &wl.phases, wl.range, seed),
+        2 => setbench_phased(|| bst_static(8, 16, wl.cap), 8, &wl.phases, wl.range, seed),
+        _ => setbench_phased(|| bst_adaptive(wl.cap), 8, &wl.phases, wl.range, seed),
+    })
+}
+
+/// ADAPTIVE SWEEP: the self-tuning policy against static budgets across
+/// single-phase regimes and phase-changing workloads (BST, 8 threads).
+/// The axis column is the workload index into [`adaptive_workloads`].
+pub fn adaptive_sweep() -> Table {
+    let (ops, tr) = (ops_per_thread(), trials());
+    let mut t = Table::new(
+        "ADAPTIVE SWEEP — BST at 8 threads across regimes (ops/ms); axis = workload id",
+        &ADAPTIVE_SERIES,
+    );
+    let wls = adaptive_workloads(ops);
+    let grid: Vec<(usize, usize)> = (0..wls.len())
+        .flat_map(|w| (0..ADAPTIVE_SERIES.len()).map(move |s| (w, s)))
+        .collect();
+    let cells = crate::cells::sweep(
+        grid,
+        |&(w, s)| crate::cells::cell_key(ADAPTIVE_SERIES[s], w as u64),
+        |&(w, s)| adaptive_cell(&wls[w], s, tr),
+    );
+    let mut cells = cells.into_iter();
+    for w in 0..wls.len() {
+        let mut vals = Vec::with_capacity(ADAPTIVE_SERIES.len());
+        for series in ADAPTIVE_SERIES {
+            let c = cells.next().expect("cell runner lost a sweep point");
+            t.push_cause(w, series, c.htm, c.mem);
+            t.push_lat(w, series, c.lat);
+            t.push_met(w, series, c.met);
+            vals.push(c.value);
+        }
+        t.push(w, vals);
+    }
+    t
+}
+
 /// Helping-avoidance ablation (§2.4): explicit-abort-to-fallback (the
 /// paper's choice, `stop_on_permanent = true`) vs burning all retries on
 /// permanent aborts, under heavy contention (range 16).

@@ -28,7 +28,7 @@
 //!
 //! Keys are `u32` with `u32::MAX` reserved as the +∞ sentinel.
 
-use pto_core::policy::{pto, PtoPolicy, PtoStats};
+use pto_core::policy::{pto, pto_adaptive, AdaptivePolicy, PtoPolicy, PtoStats};
 use pto_core::ConcurrentSet;
 use pto_htm::{TxResult, TxWord, Txn};
 use pto_mem::epoch::{self, Guard};
@@ -75,6 +75,22 @@ fn up_count(w: u64) -> u64 {
 #[inline]
 fn clean_bump(w: u64) -> u64 {
     up_pack(ST_CLEAN, NIL, up_count(w) + 1)
+}
+
+/// CLEAN for a pool-recycled node, advancing the count past the slot's
+/// previous life. Update-word counts must be **monotone per slot across
+/// recycling**: the PTO2 update phase and the lock-free CASes validate
+/// snapshots by word equality, and a recycled node re-initialized to
+/// count 0 is bit-identical to the snapshot a stalled operation took
+/// against the slot's previous occupant (`CLEAN/NIL/c0` is the common
+/// state of every fresh internal node). Such an operation then commits a
+/// prune/mark derived from a dead tree shape — observed as a reachable
+/// `MARK/DUMMY` node that no helper can clean, livelocking every op
+/// routed through it. Ellen et al. get this invariant for free from
+/// GC-fresh allocations; a recycling pool has to preserve it by hand.
+#[inline]
+fn clean_recycle(prev: u64) -> u64 {
+    up_pack(ST_CLEAN, NIL, up_count(prev) + 1)
 }
 
 /// A tree node; leaves have `NIL` children. Slots are recycled through the
@@ -148,6 +164,15 @@ pub enum BstVariant {
     Pto2,
     /// PTO1 (2 attempts) composed over PTO2 (16 attempts) — §4.4.
     Pto1Pto2,
+    /// The §4.4 composition under self-tuning policies: every PTO call
+    /// site adapts its retry budget to its own abort-cause stream, and
+    /// pure prefixes (lookups, deletes, the PTO2 update phase) may take
+    /// the single-orec middle path when conflicts concentrate on one
+    /// granule. The whole-op *insert* prefix keeps the middle path
+    /// disarmed: it initializes private nodes non-transactionally, and a
+    /// non-transactional store that hashed to the held orec would
+    /// self-deadlock.
+    Adaptive,
 }
 
 /// The set. See crate docs; construct via [`Bst::new`].
@@ -157,6 +182,9 @@ pub struct Bst {
     variant: BstVariant,
     p1: PtoPolicy,
     p2: PtoPolicy,
+    /// Adaptive wrappers around `p1`/`p2` (used by [`BstVariant::Adaptive`]).
+    a1: AdaptivePolicy,
+    a2: AdaptivePolicy,
     /// Outer (PTO1 / whole-op) path statistics.
     pub stats1: PtoStats,
     /// Inner (PTO2 / update-phase) path statistics.
@@ -169,7 +197,7 @@ impl Bst {
     /// (PTO1: 4 standalone / 2 composed; PTO2: 4 standalone / 16 composed).
     pub fn new(variant: BstVariant) -> Self {
         let (a1, a2) = match variant {
-            BstVariant::Pto1Pto2 => (2, 16),
+            BstVariant::Pto1Pto2 | BstVariant::Adaptive => (2, 16),
             _ => (4, 4),
         };
         Self::with_policies(
@@ -213,10 +241,22 @@ impl Bst {
             variant,
             p1,
             p2,
+            a1: AdaptivePolicy::new(p1),
+            a2: AdaptivePolicy::new(p2),
             stats1: PtoStats::new(),
             stats2: PtoStats::new(),
             grandroot,
         }
+    }
+
+    /// An adaptive tree with full control over both adaptation surfaces
+    /// (middle-path forcing, streak/probe tuning). The base policies are
+    /// taken from the wrappers.
+    pub fn with_adaptive(a1: AdaptivePolicy, a2: AdaptivePolicy) -> Self {
+        let mut t = Self::with_policies(BstVariant::Adaptive, a1.base, a2.base);
+        t.a1 = a1;
+        t.a2 = a2;
+        t
     }
 
     #[inline]
@@ -302,9 +342,9 @@ impl Bst {
         leaf.key.init(k as u64);
         leaf.left.init(NIL_LINK);
         leaf.right.init(NIL_LINK);
-        leaf.update.init(up_pack(ST_CLEAN, NIL, 0));
+        leaf.update.init(clean_recycle(leaf.update.peek()));
         let internal = self.node(ni);
-        internal.update.init(up_pack(ST_CLEAN, NIL, 0));
+        internal.update.init(clean_recycle(internal.update.peek()));
         if k < lk {
             internal.key.init(lk as u64);
             internal.left.init(nl as u64);
@@ -618,20 +658,48 @@ impl Bst {
     // Drivers
     // ------------------------------------------------------------------
 
+    /// The non-transactional preamble of a PTO2 insert: search, duplicate
+    /// check, helping, and private-node configuration. `Err` short-circuits
+    /// the attempt with its outcome.
+    fn pto2_insert_prepare(&self, k: u32, ni: u32, nl: u32, g: &Guard) -> Result<Snap, Attempt> {
+        let s = self.search(k, g);
+        let lk = self.node(s.l).key.load(Ordering::Acquire) as u32;
+        if lk == k {
+            return Err(Attempt::Present);
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            self.help(s.pu);
+            return Err(Attempt::Stale);
+        }
+        self.configure_insert_nodes(k, lk, s.l, ni, nl);
+        Ok(s)
+    }
+
+    /// The non-transactional preamble of a PTO2 delete.
+    fn pto2_delete_prepare(&self, k: u32, g: &Guard) -> Result<Snap, Attempt> {
+        let s = self.search(k, g);
+        if self.node(s.l).key.load(Ordering::Acquire) as u32 != k {
+            return Err(Attempt::Absent);
+        }
+        if up_state(s.gpu) != ST_CLEAN {
+            self.help(s.gpu);
+            return Err(Attempt::Stale);
+        }
+        if up_state(s.pu) != ST_CLEAN {
+            self.help(s.pu);
+            return Err(Attempt::Stale);
+        }
+        Ok(s)
+    }
+
     /// One insert attempt through the PTO2 pipeline (search outside,
     /// update phase transactional, lock-free fallback).
     fn pto2_insert_attempt(&self, k: u32, ni: u32, nl: u32) -> Attempt {
         let g = epoch::pin();
-        let s = self.search(k, &g);
-        let lk = self.node(s.l).key.load(Ordering::Acquire) as u32;
-        if lk == k {
-            return Attempt::Present;
-        }
-        if up_state(s.pu) != ST_CLEAN {
-            self.help(s.pu);
-            return Attempt::Stale;
-        }
-        self.configure_insert_nodes(k, lk, s.l, ni, nl);
+        let s = match self.pto2_insert_prepare(k, ni, nl, &g) {
+            Ok(s) => s,
+            Err(done) => return done,
+        };
         pto(
             &self.p2,
             &self.stats2,
@@ -642,20 +710,43 @@ impl Bst {
 
     fn pto2_delete_attempt(&self, k: u32) -> Attempt {
         let g = epoch::pin();
-        let s = self.search(k, &g);
-        if self.node(s.l).key.load(Ordering::Acquire) as u32 != k {
-            return Attempt::Absent;
-        }
-        if up_state(s.gpu) != ST_CLEAN {
-            self.help(s.gpu);
-            return Attempt::Stale;
-        }
-        if up_state(s.pu) != ST_CLEAN {
-            self.help(s.pu);
-            return Attempt::Stale;
-        }
+        let s = match self.pto2_delete_prepare(k, &g) {
+            Ok(s) => s,
+            Err(done) => return done,
+        };
         pto(
             &self.p2,
+            &self.stats2,
+            |tx| self.tx_delete_update(tx, &s),
+            || self.lf_delete_attempt(k, &s),
+        )
+    }
+
+    /// PTO2 insert attempt under the self-tuning policy. The update-phase
+    /// prefix is purely transactional (node configuration already happened
+    /// in the preamble), so the middle path is safe here.
+    fn pto2_insert_attempt_adaptive(&self, k: u32, ni: u32, nl: u32) -> Attempt {
+        let g = epoch::pin();
+        let s = match self.pto2_insert_prepare(k, ni, nl, &g) {
+            Ok(s) => s,
+            Err(done) => return done,
+        };
+        pto_adaptive(
+            &self.a2,
+            &self.stats2,
+            |tx| self.tx_insert_update(tx, &s, ni),
+            || self.lf_insert_attempt(k, &s, ni, nl),
+        )
+    }
+
+    fn pto2_delete_attempt_adaptive(&self, k: u32) -> Attempt {
+        let g = epoch::pin();
+        let s = match self.pto2_delete_prepare(k, &g) {
+            Ok(s) => s,
+            Err(done) => return done,
+        };
+        pto_adaptive(
+            &self.a2,
             &self.stats2,
             |tx| self.tx_delete_update(tx, &s),
             || self.lf_delete_attempt(k, &s),
@@ -684,6 +775,7 @@ impl Bst {
         }
     }
 
+
     fn insert_impl(&self, k: u32) -> bool {
         let nl = self.nodes.alloc();
         let ni = self.nodes.alloc();
@@ -703,9 +795,24 @@ impl Bst {
                     |tx| self.tx_insert_whole(tx, k, ni, nl),
                     || self.pto2_insert_attempt(k, ni, nl),
                 ),
+                BstVariant::Adaptive => {
+                    // The whole-op insert prefix initializes private nodes
+                    // non-transactionally; keep the middle path disarmed at
+                    // this site (see `BstVariant::Adaptive` docs). The inner
+                    // PTO2 stage still gets its middle path.
+                    let a1 = self.a1.with_middle_streak(u32::MAX);
+                    pto_adaptive(
+                        &a1,
+                        &self.stats1,
+                        |tx| self.tx_insert_whole(tx, k, ni, nl),
+                        || self.pto2_insert_attempt_adaptive(k, ni, nl),
+                    )
+                }
             };
             match attempt {
-                Attempt::Inserted => return true,
+                Attempt::Inserted => {
+                    return true;
+                }
                 Attempt::Present => {
                     self.nodes.free_now(nl);
                     self.nodes.free_now(ni);
@@ -734,6 +841,12 @@ impl Bst {
                     |tx| self.tx_delete_whole(tx, k),
                     || self.pto2_delete_attempt(k),
                 ),
+                BstVariant::Adaptive => pto_adaptive(
+                    &self.a1,
+                    &self.stats1,
+                    |tx| self.tx_delete_whole(tx, k),
+                    || self.pto2_delete_attempt_adaptive(k),
+                ),
             };
             match attempt {
                 Attempt::Deleted { p, l } => {
@@ -756,6 +869,15 @@ impl Bst {
             }
             BstVariant::Pto1 | BstVariant::Pto1Pto2 => pto(
                 &self.p1,
+                &self.stats1,
+                |tx| self.tx_lookup(tx, k),
+                || {
+                    let g = epoch::pin();
+                    self.lf_lookup(k, &g)
+                },
+            ),
+            BstVariant::Adaptive => pto_adaptive(
+                &self.a1,
                 &self.stats1,
                 |tx| self.tx_lookup(tx, k),
                 || {
@@ -851,11 +973,12 @@ mod tests {
     use pto_sim::rng::XorShift64;
     use std::collections::BTreeSet;
 
-    const VARIANTS: [BstVariant; 4] = [
+    const VARIANTS: [BstVariant; 5] = [
         BstVariant::LockFree,
         BstVariant::Pto1,
         BstVariant::Pto2,
         BstVariant::Pto1Pto2,
+        BstVariant::Adaptive,
     ];
 
     #[test]
@@ -974,6 +1097,29 @@ mod tests {
     fn concurrent_stress_composed() {
         let t = Bst::new(BstVariant::Pto1Pto2);
         concurrent_stress(&t, 4, 2_000, 100);
+    }
+
+    #[test]
+    fn concurrent_stress_adaptive() {
+        let t = Bst::new(BstVariant::Adaptive);
+        concurrent_stress(&t, 4, 2_000, 100);
+        assert!(t.stats1.fast.get() > 0);
+    }
+
+    #[test]
+    fn concurrent_stress_adaptive_middle_forced() {
+        // Streak of 1 + a single HTM attempt: any conflicted op goes
+        // straight to the single-orec middle path. The structure must stay
+        // valid under heavy same-granule contention.
+        let t = Bst::with_adaptive(
+            AdaptivePolicy::new(PtoPolicy::with_attempts(1)).with_middle_streak(1),
+            AdaptivePolicy::new(PtoPolicy::with_attempts(1)).with_middle_streak(1),
+        );
+        concurrent_stress(&t, 4, 2_000, 8);
+        assert!(
+            t.stats1.fast.get() + t.stats2.fast.get() > 0,
+            "some ops still commit on the fast path"
+        );
     }
 
     #[test]

@@ -168,6 +168,66 @@ fn skiplist_and_bst_variants_linearize() {
     check_set("bst/pto1pto2", &|| Box::new(Bst::new(BstVariant::Pto1Pto2)));
 }
 
+// -- middle path: adaptive variants forced onto the single-orec path -----
+
+/// attempts=1 + middle_streak=1: every op whose single HTM attempt hits a
+/// same-granule conflict re-runs under the software-held orec, so the
+/// explorer's schedules (half of which inject deterministic aborts) walk
+/// the HTM -> middle -> fallback demotion chain constantly.
+fn middle_forced() -> pto_core::AdaptivePolicy {
+    pto_core::AdaptivePolicy::new(pto_core::PtoPolicy::with_attempts(1)).with_middle_streak(1)
+}
+
+#[test]
+fn adaptive_middle_path_variants_linearize() {
+    let _g = serial();
+    check_set("bst/adaptive-middle", &|| {
+        Box::new(Bst::with_adaptive(middle_forced(), middle_forced()))
+    });
+    check_set("skiplist/adaptive-middle", &|| {
+        Box::new(SkipListSet::new_adaptive_with(middle_forced()))
+    });
+}
+
+#[test]
+fn abort_injection_walks_the_demotion_chain() {
+    let _g = serial();
+    // Dense deterministic injection (every 2nd would-commit aborts
+    // Spurious) dooms HTM attempts and middle re-runs alike. Over a hot
+    // 8-key range the middle-forced BST must visibly take all three
+    // paths: fast HTM commits, owned-orec middle commits, and full
+    // fallbacks when even the middle run is injected away.
+    let _scope = pto_htm::injection_scope(2, 1);
+    let t = Bst::with_adaptive(middle_forced(), middle_forced());
+    pto_sim::clock::reset();
+    pto_sim::Sim::new(4).run(|lane| {
+        let mut rng = pto_sim::rng::XorShift64::new(0xDE40 ^ (lane as u64 + 1) * 0x9E37_79B9);
+        for _ in 0..300 {
+            let k = rng.below(8);
+            if rng.chance(1, 2) {
+                t.insert(k);
+            } else {
+                t.remove(k);
+            }
+        }
+    });
+    let fast = t.stats1.fast.get() + t.stats2.fast.get();
+    let middle = t.stats1.middle.get() + t.stats2.middle.get();
+    let fallback = t.stats1.fallback.get() + t.stats2.fallback.get();
+    let spurious = t.stats1.causes.spurious.get() + t.stats2.causes.spurious.get();
+    assert!(spurious > 0, "injection never fired");
+    assert!(fast > 0, "no op survived on the fast path (fast {fast})");
+    assert!(middle > 0, "demotion never reached the middle path");
+    assert!(fallback > 0, "demotion never reached the fallback");
+    // The structure is still a set: contains agrees with itself across a
+    // full quiescent sweep (no torn nodes / stuck locks after the churn).
+    for k in 0..8 {
+        let a = t.contains(k);
+        let b = t.contains(k);
+        assert_eq!(a, b, "unstable quiescent contains({k})");
+    }
+}
+
 // -- structure 5: Mound (pq) ---------------------------------------------
 
 #[test]

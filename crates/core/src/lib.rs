@@ -33,7 +33,9 @@ pub mod profile;
 pub mod tle;
 pub mod traits;
 
-pub use policy::{pto, pto2, Backoff, PtoPolicy, PtoStats};
+pub use policy::{
+    pto, pto2, pto2_adaptive, pto_adaptive, AdaptivePolicy, Backoff, PtoPolicy, PtoStats, Regime,
+};
 pub use traits::{ConcurrentSet, FifoQueue, PriorityQueue, Quiescence, IDLE};
 
 /// Explicit-abort code used by prefix transactions that observe a state

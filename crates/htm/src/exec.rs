@@ -209,8 +209,48 @@ pub fn transaction<'e, T>(
 /// guarantees no effect on shared memory.
 pub fn transaction_with<'e, T>(
     opts: TxOpts,
-    mut f: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+    f: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
 ) -> Result<T, AbortCause> {
+    transaction_impl(opts, None, f).0
+}
+
+/// Run one attempt under a software-held orec — the PTO **middle path**.
+///
+/// The caller holds `guard` ([`crate::try_acquire_orec`]), typically on
+/// the granule its previous attempts kept conflicting on
+/// ([`crate::last_conflict_orec`]). The attempt runs the normal TL2
+/// protocol except on the owned granule, where the held lock is expected:
+/// reads validate the pre-acquire version, and commit treats the orec as
+/// pre-acquired. Holding the lock excludes every competing writer —
+/// transactional committers fail their try-lock and readers abort with
+/// `Conflict`, while non-transactional updates spin in the word layer —
+/// so conflicts on that granule cannot abort this attempt.
+///
+/// On a writing commit that touched the owned granule, the commit itself
+/// releases the orec at the write version and the guard is marked
+/// consumed; in every other outcome (abort, read-only commit, granule
+/// untouched) the guard keeps holding the orec and restores the
+/// pre-acquire value when dropped.
+pub fn transaction_owned<'e, T>(
+    opts: TxOpts,
+    guard: &mut crate::orec::OrecGuard,
+    f: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+) -> Result<T, AbortCause> {
+    let (res, published) = transaction_impl(opts, Some((guard.oidx(), guard.pre())), f);
+    if published {
+        guard.mark_released();
+    }
+    res
+}
+
+/// Shared attempt body. `owned` is `None` for the plain fast path — the
+/// charge/stats/trace/metrics sequence is byte-identical to the pre-PR 9
+/// `transaction_with`, so static-policy golden makespans are unaffected.
+fn transaction_impl<'e, T>(
+    opts: TxOpts,
+    owned: Option<(usize, u64)>,
+    mut f: impl FnMut(&mut Txn<'e>) -> TxResult<T>,
+) -> (Result<T, AbortCause>, bool) {
     // This HTM does not nest (real RTM nests by flattening; none of the
     // paper's prefixes need it). An inner TxBegin aborts like an
     // unsupported instruction would.
@@ -218,7 +258,7 @@ pub fn transaction_with<'e, T>(
     if already {
         stats::record_abort(AbortCause::Nested);
         metrics::emit(Series::AbortNested, 1);
-        return Err(AbortCause::Nested);
+        return (Err(AbortCause::Nested), false);
     }
     let _guard = NestGuard;
 
@@ -226,8 +266,8 @@ pub fn transaction_with<'e, T>(
     stats::record_begin();
     let rv = crate::orec::gvc_now();
     trace::emit(EventKind::TxBegin { rv });
-    let mut tx = Txn::new(rv, opts.fence_mode, opts.read_cap, opts.write_cap);
-    match f(&mut tx) {
+    let mut tx = Txn::new(rv, opts.fence_mode, opts.read_cap, opts.write_cap, owned);
+    let res = match f(&mut tx) {
         Ok(_) if injection_strikes() => {
             charge(CostKind::TxAbort);
             stats::record_abort(AbortCause::Spurious);
@@ -272,7 +312,9 @@ pub fn transaction_with<'e, T>(
             metrics::emit(Series::abort_for_code(abort.cause.trace_code()), 1);
             Err(abort.cause)
         }
-    }
+    };
+    let published = tx.owned_published();
+    (res, published)
 }
 
 #[cfg(test)]
@@ -500,6 +542,131 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn owned_transaction_commits_under_its_held_orec() {
+        let w = TxWord::new(5);
+        let mut g = crate::try_acquire_orec(w.orec_index(), 8).expect("uncontended");
+        let r = transaction_owned(TxOpts::default(), &mut g, |tx| {
+            let v = tx.read(&w)?;
+            tx.write(&w, v + 1)?;
+            Ok(())
+        });
+        assert!(r.is_ok());
+        drop(g); // consumed: must not restore the pre value
+        assert_eq!(w.peek(), 6);
+        // The orec was released at the write version: a fresh transaction
+        // on the same word succeeds.
+        assert!(transaction(|tx| tx.read(&w)).is_ok());
+    }
+
+    #[test]
+    fn owned_abort_keeps_the_orec_held_for_retry() {
+        let w = TxWord::new(7);
+        let mut g = crate::try_acquire_orec(w.orec_index(), 8).expect("uncontended");
+        let r: Result<(), _> = transaction_owned(TxOpts::default(), &mut g, |tx| {
+            tx.write(&w, 99)?;
+            Err(tx.abort(1))
+        });
+        assert_eq!(r.unwrap_err(), AbortCause::Explicit(1));
+        // (`peek` would spin on the still-held orec; read under the guard.)
+        let v = transaction_owned(TxOpts::default(), &mut g, |tx| tx.read(&w)).unwrap();
+        assert_eq!(v, 7);
+        // Still held: a retry under the same guard succeeds.
+        let r = transaction_owned(TxOpts::default(), &mut g, |tx| {
+            let v = tx.read(&w)?;
+            tx.write(&w, v + 1)?;
+            Ok(())
+        });
+        assert!(r.is_ok());
+        drop(g);
+        assert_eq!(w.peek(), 8);
+    }
+
+    #[test]
+    fn owned_read_only_commit_leaves_release_to_the_guard() {
+        let w = TxWord::new(3);
+        let mut g = crate::try_acquire_orec(w.orec_index(), 8).expect("uncontended");
+        let r = transaction_owned(TxOpts::default(), &mut g, |tx| tx.read(&w));
+        assert_eq!(r.unwrap(), 3);
+        // Read-only: the guard still holds the orec, so a competitor's
+        // read of the granule conflicts until the guard drops.
+        assert_eq!(
+            transaction(|tx| tx.read(&w)).unwrap_err(),
+            AbortCause::Conflict
+        );
+        drop(g);
+        assert_eq!(transaction(|tx| tx.read(&w)).unwrap(), 3);
+    }
+
+    #[test]
+    fn held_orec_conflicts_competing_transactions_and_reports_the_granule() {
+        let w = TxWord::new(0);
+        let g = crate::try_acquire_orec(w.orec_index(), 8).expect("uncontended");
+        let r: Result<u64, _> = transaction(|tx| tx.read(&w));
+        assert_eq!(r.unwrap_err(), AbortCause::Conflict);
+        assert_eq!(crate::last_conflict_orec(), Some(w.orec_index()));
+        drop(g);
+    }
+
+    #[test]
+    fn owned_transaction_still_aborts_on_foreign_conflicts() {
+        // Holding one orec protects only that granule: a conflict on a
+        // different word still aborts the owned attempt, and the owned
+        // orec stays held across the abort.
+        let a = TxWord::new(1);
+        // Find a `b` whose orec differs from `a`'s (the hash spreads
+        // adjacent words, so one of a handful qualifies).
+        let pool: Vec<TxWord> = (0..64).map(|_| TxWord::new(2)).collect();
+        let b = pool
+            .iter()
+            .find(|w| w.orec_index() != a.orec_index())
+            .expect("orec hash spreads");
+        let mut g = crate::try_acquire_orec(a.orec_index(), 8).expect("uncontended");
+        let foreign = crate::try_acquire_orec(b.orec_index(), 8).expect("uncontended");
+        let r: Result<u64, _> = transaction_owned(TxOpts::default(), &mut g, |tx| {
+            tx.read(&a)?;
+            tx.read(&b)
+        });
+        assert_eq!(r.unwrap_err(), AbortCause::Conflict);
+        assert_eq!(crate::last_conflict_orec(), Some(b.orec_index()));
+        drop(foreign);
+        // Retry under the same guard now commits.
+        let r = transaction_owned(TxOpts::default(), &mut g, |tx| {
+            let x = tx.read(&a)?;
+            let y = tx.read(&b)?;
+            tx.write(&a, x + y)?;
+            Ok(())
+        });
+        assert!(r.is_ok());
+        drop(g);
+        assert_eq!(a.peek(), 3);
+    }
+
+    #[test]
+    fn owned_and_plain_charge_sequences_match() {
+        // The middle-path entry must not perturb the virtual-time charge
+        // sequence of an identical attempt (golden-makespan contract).
+        let w = TxWord::new(0);
+        pto_sim::clock::reset();
+        let _ = transaction_with(TxOpts::default(), |tx| {
+            let v = tx.read(&w)?;
+            tx.write(&w, v + 1)?;
+            Ok(())
+        });
+        let plain = pto_sim::now();
+        pto_sim::clock::reset();
+        let mut g = crate::try_acquire_orec(w.orec_index(), 8).expect("uncontended");
+        let acquire_cost = pto_sim::now();
+        let _ = transaction_owned(TxOpts::default(), &mut g, |tx| {
+            let v = tx.read(&w)?;
+            tx.write(&w, v + 1)?;
+            Ok(())
+        });
+        drop(g);
+        let owned = pto_sim::now() - acquire_cost;
+        assert_eq!(plain, owned);
     }
 
     #[test]

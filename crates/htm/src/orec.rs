@@ -10,6 +10,7 @@
 //! exactly the behaviour of cache-set aliasing in a real HTM, and harmless
 //! for correctness (a spurious abort just routes to the fallback).
 
+use pto_sim::{charge, CostKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// log2 of the orec table size. 2^16 records ≈ the conflict-detection
@@ -80,6 +81,106 @@ pub(crate) fn make_locked(orec_val: u64) -> u64 {
     orec_val | 1
 }
 
+// ---------------------------------------------------------------------------
+// Software orec acquisition: the PTO middle path's lock.
+
+/// A software-held ownership record — the lock behind the PTO **middle
+/// path** (one orec instead of a full fallback, after Brown's three-path
+/// HTM template).
+///
+/// While the guard is held, every transactional competitor touching the
+/// granule aborts with `Conflict` (reads see the lock bit, commit
+/// try-locks fail) and every non-transactional writer spins in the word
+/// layer's `lock_orec` — so re-running a prefix under the guard via
+/// [`transaction_owned`](crate::transaction_owned) serializes it against
+/// all other access to the contended granule, transactional or not.
+///
+/// Dropping an unconsumed guard restores the pre-acquire orec value: the
+/// version does not move, because the protected words did not change. A
+/// committing owned-orec transaction that wrote the granule instead
+/// releases the orec at its write version and marks the guard consumed.
+pub struct OrecGuard {
+    oidx: usize,
+    pre: u64,
+    released: bool,
+}
+
+impl OrecGuard {
+    /// Index of the held orec.
+    #[inline]
+    pub fn oidx(&self) -> usize {
+        self.oidx
+    }
+
+    /// Orec value observed at acquisition (unlocked; holds the granule's
+    /// last committed version).
+    #[inline]
+    pub(crate) fn pre(&self) -> u64 {
+        self.pre
+    }
+
+    /// Mark the orec as already released by a committing owned-orec
+    /// transaction (which published `make_version(wv)` over it).
+    #[inline]
+    pub(crate) fn mark_released(&mut self) {
+        self.released = true;
+    }
+}
+
+impl Drop for OrecGuard {
+    fn drop(&mut self) {
+        if !self.released {
+            orec_at(self.oidx).store(self.pre, Ordering::Release);
+        }
+    }
+}
+
+/// Snapshot of every currently locked orec `(index, raw value)` — an
+/// uncharged diagnostic for deadlock triage and tests. Racy by nature:
+/// a commit write-back may lock/release concurrently with the scan.
+#[doc(hidden)]
+pub fn locked_orecs() -> Vec<(usize, u64)> {
+    (0..OREC_COUNT)
+        .filter_map(|i| {
+            let v = orec_at(i).load(Ordering::Relaxed);
+            is_locked(v).then_some((i, v))
+        })
+        .collect()
+}
+
+/// Try to acquire orec `oidx` in software with a bounded, charged spin.
+///
+/// Returns `None` if the orec stayed locked for more than `spin_budget`
+/// probe iterations — the caller should demote to the full fallback
+/// rather than convoy behind another owner. Each probe of a locked orec
+/// charges one `SpinIter`; the successful acquisition charges one `Cas`.
+pub fn try_acquire_orec(oidx: usize, spin_budget: u64) -> Option<OrecGuard> {
+    let o = orec_at(oidx & ((1 << OREC_BITS) - 1));
+    let oidx = oidx & ((1 << OREC_BITS) - 1);
+    let mut spins = 0u64;
+    loop {
+        let cur = o.load(Ordering::Acquire);
+        if !is_locked(cur)
+            && o.compare_exchange(cur, make_locked(cur), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            charge(CostKind::Cas);
+            return Some(OrecGuard {
+                oidx,
+                pre: cur,
+                released: false,
+            });
+        }
+        if spins >= spin_budget {
+            charge(CostKind::CasFail);
+            return None;
+        }
+        spins += 1;
+        charge(CostKind::SpinIter);
+        std::hint::spin_loop();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +221,35 @@ mod tests {
     fn orec_for_and_index_agree() {
         let addr = 0xDEAD_BEE8usize;
         assert!(std::ptr::eq(orec_for(addr), orec_at(orec_index(addr))));
+    }
+
+    #[test]
+    fn guard_drop_restores_the_pre_value() {
+        let oidx = orec_index(0xA11C_E008);
+        let before = orec_at(oidx).load(Ordering::Acquire);
+        {
+            let g = try_acquire_orec(oidx, 8).expect("uncontended acquire");
+            assert_eq!(g.oidx(), oidx);
+            assert!(is_locked(orec_at(oidx).load(Ordering::Acquire)));
+        }
+        assert_eq!(orec_at(oidx).load(Ordering::Acquire), before);
+    }
+
+    #[test]
+    fn second_acquire_times_out_while_held() {
+        let oidx = orec_index(0xB0B0_5008);
+        let _g = try_acquire_orec(oidx, 8).expect("uncontended acquire");
+        assert!(try_acquire_orec(oidx, 4).is_none());
+    }
+
+    #[test]
+    fn consumed_guard_leaves_the_release_to_the_committer() {
+        let oidx = orec_index(0xC0DE_C008);
+        let mut g = try_acquire_orec(oidx, 8).expect("uncontended acquire");
+        // Simulate a committing owned-orec transaction's release.
+        orec_at(oidx).store(make_version(version_of(g.pre()) + 1), Ordering::Release);
+        g.mark_released();
+        drop(g);
+        assert!(!is_locked(orec_at(oidx).load(Ordering::Acquire)));
     }
 }

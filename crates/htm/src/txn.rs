@@ -158,6 +158,24 @@ struct Scratch {
 
 thread_local! {
     static SCRATCH: Cell<Option<Box<Scratch>>> = const { Cell::new(None) };
+    /// Orec index of this thread's most recent `Conflict` abort. Feeds the
+    /// adaptive policy's middle-path trigger: a streak of conflicts on one
+    /// granule means a single software orec acquisition can serialize the
+    /// whole prefix ([`crate::try_acquire_orec`]).
+    static LAST_CONFLICT_OREC: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+#[inline]
+fn note_conflict(oidx: usize) {
+    LAST_CONFLICT_OREC.with(|c| c.set(Some(oidx)));
+}
+
+/// The orec index implicated in this thread's most recent `Conflict`
+/// abort, if any. Purely thread-local diagnostics: the value is only
+/// meaningful immediately after an attempt returned
+/// [`AbortCause::Conflict`] on the same thread.
+pub fn last_conflict_orec() -> Option<usize> {
+    LAST_CONFLICT_OREC.with(|c| c.get())
 }
 
 /// A running transaction. Created by [`crate::transaction`]; data-structure
@@ -167,6 +185,14 @@ pub struct Txn<'e> {
     fence_mode: FenceMode,
     read_cap: usize,
     write_cap: usize,
+    /// Middle path: `(oidx, pre-lock orec value)` of an orec the caller
+    /// already holds in software ([`crate::OrecGuard`]). Reads of that
+    /// granule validate against the pre-lock version instead of failing on
+    /// the lock bit, and commit treats it as pre-acquired.
+    owned: Option<(usize, u64)>,
+    /// Set by a successful writing commit that released the owned orec at
+    /// its write version (so the guard must not restore the pre value).
+    owned_published: bool,
     /// `Some` from `new` until `drop` (an `Option` only so `Drop` can move
     /// the box back to the thread-local slot).
     scratch: Option<Box<Scratch>>,
@@ -190,16 +216,31 @@ impl Drop for Txn<'_> {
 }
 
 impl<'e> Txn<'e> {
-    pub(crate) fn new(rv: u64, fence_mode: FenceMode, read_cap: usize, write_cap: usize) -> Self {
+    pub(crate) fn new(
+        rv: u64,
+        fence_mode: FenceMode,
+        read_cap: usize,
+        write_cap: usize,
+        owned: Option<(usize, u64)>,
+    ) -> Self {
         let scratch = SCRATCH.with(|c| c.take()).unwrap_or_default();
         Txn {
             rv,
             fence_mode,
             read_cap,
             write_cap,
+            owned,
+            owned_published: false,
             scratch: Some(scratch),
             _words: PhantomData,
         }
+    }
+
+    /// Whether a successful commit released the owned orec at its write
+    /// version (only ever true for owned-orec transactions that wrote the
+    /// owned granule).
+    pub(crate) fn owned_published(&self) -> bool {
+        self.owned_published
     }
 
     #[inline]
@@ -218,6 +259,7 @@ impl<'e> Txn<'e> {
         charge(CostKind::TxLoad);
         let rv = self.rv;
         let read_cap = self.read_cap;
+        let owned = self.owned;
         let s = self.s();
         // Read-own-write; the filter miss proves this word was never
         // written, skipping the scan entirely on the common path.
@@ -235,7 +277,15 @@ impl<'e> Txn<'e> {
         let oidx = orec::orec_index(word.addr());
         let o = orec::orec_at(oidx);
         let v1 = o.load(Ordering::Acquire);
-        if orec::is_locked(v1) || orec::version_of(v1) > rv {
+        let inconsistent = match owned {
+            // Middle path: we hold this orec's lock ourselves, so the lock
+            // bit is expected; the granule's last committed version (the
+            // pre-lock value) must still be within our snapshot.
+            Some((own, pre)) if own == oidx => orec::version_of(pre) > rv,
+            _ => orec::is_locked(v1) || orec::version_of(v1) > rv,
+        };
+        if inconsistent {
+            note_conflict(oidx);
             return Err(Abort {
                 cause: AbortCause::Conflict,
             });
@@ -243,6 +293,7 @@ impl<'e> Txn<'e> {
         let val = word.cell.load(Ordering::Acquire);
         let v2 = o.load(Ordering::Acquire);
         if v1 != v2 {
+            note_conflict(oidx);
             return Err(Abort {
                 cause: AbortCause::Conflict,
             });
@@ -332,6 +383,8 @@ impl<'e> Txn<'e> {
     /// visible and the cause is returned.
     pub(crate) fn commit(&mut self) -> Result<u64, AbortCause> {
         let rv = self.rv;
+        let owned = self.owned;
+        let owned_idx = owned.map(|(i, _)| i);
         // Split-borrow the scratch so the loops below can read one buffer
         // while filling another.
         let Scratch {
@@ -359,6 +412,16 @@ impl<'e> Txn<'e> {
 
         acquired.clear();
         for &oidx in lock_order.iter() {
+            if let Some((own, pre)) = owned {
+                if oidx == own {
+                    // Middle path: this orec is already held in software by
+                    // the caller's guard; record it at its pre-lock value
+                    // without CASing. `lock_order` is sorted, so `acquired`
+                    // stays sorted for the validation binary search.
+                    acquired.push((oidx, pre));
+                    continue;
+                }
+            }
             let o = orec::orec_at(oidx);
             let cur = o.load(Ordering::Acquire);
             if orec::is_locked(cur)
@@ -370,7 +433,8 @@ impl<'e> Txn<'e> {
                 )
                 .is_err()
             {
-                Self::release(acquired);
+                note_conflict(oidx);
+                Self::release(acquired, owned_idx);
                 return Err(AbortCause::Conflict);
             }
             acquired.push((oidx, cur));
@@ -387,14 +451,22 @@ impl<'e> Txn<'e> {
                         // Read-write overlap: the pre-lock version must
                         // still be within our snapshot.
                         if orec::version_of(acquired[pos].1) > rv {
-                            Self::release(acquired);
+                            note_conflict(oidx);
+                            Self::release(acquired, owned_idx);
                             return Err(AbortCause::Conflict);
                         }
                     }
                     Err(_) => {
                         let v = orec::orec_at(oidx).load(Ordering::Acquire);
-                        if orec::is_locked(v) || orec::version_of(v) > rv {
-                            Self::release(acquired);
+                        let bad = match owned {
+                            // Read-only use of the owned granule: we hold
+                            // its lock, so validate the pre-lock version.
+                            Some((own, pre)) if own == oidx => orec::version_of(pre) > rv,
+                            _ => orec::is_locked(v) || orec::version_of(v) > rv,
+                        };
+                        if bad {
+                            note_conflict(oidx);
+                            Self::release(acquired, owned_idx);
                             return Err(AbortCause::Conflict);
                         }
                     }
@@ -411,15 +483,26 @@ impl<'e> Txn<'e> {
             unsafe { (*e.word).cell.store(e.val, Ordering::Release) };
         }
         let newv = orec::make_version(wv);
+        let mut owned_published = false;
         for &(oidx, _) in acquired.iter() {
             orec::orec_at(oidx).store(newv, Ordering::Release);
+            if Some(oidx) == owned_idx {
+                owned_published = true;
+            }
         }
         charge(CostKind::TxEnd);
+        self.owned_published = owned_published;
         Ok(wv)
     }
 
-    fn release(acquired: &[(usize, u64)]) {
+    /// Restore the pre-lock values of every orec locked so far, except the
+    /// caller-owned one (its guard keeps holding it across a failed
+    /// attempt, so the middle path can retry without re-acquiring).
+    fn release(acquired: &[(usize, u64)], owned_idx: Option<usize>) {
         for &(oidx, pre) in acquired {
+            if Some(oidx) == owned_idx {
+                continue;
+            }
             orec::orec_at(oidx).store(pre, Ordering::Release);
         }
     }

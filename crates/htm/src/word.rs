@@ -47,6 +47,14 @@ impl TxWord {
         self.read_consistent()
     }
 
+    /// Index of the ownership record this word hashes to — the granule
+    /// identity used by conflict diagnostics and the middle path
+    /// ([`crate::try_acquire_orec`]). Uncharged.
+    #[inline]
+    pub fn orec_index(&self) -> usize {
+        orec::orec_index(self.addr())
+    }
+
     /// Seqlock-consistent read of the current committed value.
     #[inline]
     fn read_consistent(&self) -> u64 {

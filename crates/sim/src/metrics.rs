@@ -44,7 +44,7 @@ use std::sync::{Arc, OnceLock};
 pub const DEFAULT_CAPACITY: usize = 1 << 14;
 
 /// Number of [`Series`] variants (array-index domain).
-pub const N_SERIES: usize = 14;
+pub const N_SERIES: usize = 17;
 
 /// One tracked metric. `Cumulative` series sample a per-track running
 /// total on every emit (the emitted value is the increment); `Gauge`
@@ -81,6 +81,15 @@ pub enum Series {
     LimboDepth = 12,
     /// Requests serviced by flat-combining rounds.
     CombineServiced = 13,
+    /// Gauge: the retry budget an adaptive policy granted the current
+    /// operation's call site (attempts allowed before fallback).
+    PolicySiteBudget = 14,
+    /// Middle-path entries: attempts re-run under a software-held orec
+    /// instead of a full fallback.
+    PolicyMiddleEntries = 15,
+    /// Adaptive-regime transitions (a call site flipping between
+    /// healthy/conflict/capacity/spurious handling).
+    PolicyAdaptFlips = 16,
 }
 
 /// Every series, in index order.
@@ -99,6 +108,9 @@ pub const ALL_SERIES: [Series; N_SERIES] = [
     Series::PoolMagazine,
     Series::LimboDepth,
     Series::CombineServiced,
+    Series::PolicySiteBudget,
+    Series::PolicyMiddleEntries,
+    Series::PolicyAdaptFlips,
 ];
 
 impl Series {
@@ -119,6 +131,9 @@ impl Series {
             Series::PoolMagazine => "pool_magazine",
             Series::LimboDepth => "limbo_depth",
             Series::CombineServiced => "combine_serviced",
+            Series::PolicySiteBudget => "policy.site_budget",
+            Series::PolicyMiddleEntries => "policy.middle_entries",
+            Series::PolicyAdaptFlips => "policy.adapt_flips",
         }
     }
 
@@ -135,6 +150,8 @@ impl Series {
                 | Series::GateParks
                 | Series::GateBackstops
                 | Series::CombineServiced
+                | Series::PolicyMiddleEntries
+                | Series::PolicyAdaptFlips
         )
     }
 
@@ -241,6 +258,21 @@ fn park_if_current(lm: LocalMetrics) {
     if lm.session == SESSION.load(Ordering::Acquire) {
         collector().lock().push(lm.track);
     }
+}
+
+/// Park the calling thread's in-progress track into the collector (if it
+/// belongs to the armed session). Sim lanes call this as they detach from
+/// the gate: `std::thread::scope` joins when a lane's closure returns,
+/// *before* its TLS destructors run, so a drain on the spawning thread
+/// right after `Sim::run` can otherwise race the lane's [`LocalSlot`]
+/// teardown and silently miss that lane's samples. The TLS destructor
+/// stays as the backstop for threads that never attach to a gate.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|local| {
+        if let Some(lm) = local.slot.borrow_mut().take() {
+            park_if_current(lm);
+        }
+    });
 }
 
 /// Record one metric emission on the current thread.

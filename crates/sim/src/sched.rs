@@ -380,8 +380,26 @@ impl Sim {
                 s.spawn(move || {
                     crate::ctx::adopt(inherited);
                     crate::clock::attach(gate, lane);
+                    // Detach via RAII: a lane that panics while attached
+                    // would otherwise never call `Gate::finish`, freezing
+                    // its clock as the permanent minimum and parking every
+                    // other lane forever. Unwinding through the guard
+                    // releases the gate so the scope can join the
+                    // remaining lanes and propagate the panic.
+                    struct DetachOnExit;
+                    impl Drop for DetachOnExit {
+                        fn drop(&mut self) {
+                            // Park observer tracks before detaching: the
+                            // scope join does not wait for this thread's
+                            // TLS destructors, so a session drained right
+                            // after `run` would miss them.
+                            crate::trace::flush_local();
+                            crate::metrics::flush_local();
+                            crate::clock::detach();
+                        }
+                    }
+                    let _detach = DetachOnExit;
                     body(lane);
-                    crate::clock::detach();
                 });
             }
         });

@@ -165,6 +165,21 @@ fn park_if_current(lt: LocalTrack) {
     }
 }
 
+/// Park the calling thread's in-progress track into the collector (if it
+/// belongs to the armed session). Sim lanes call this as they detach from
+/// the gate: `std::thread::scope` joins when a lane's closure returns,
+/// *before* its TLS destructors run, so a drain on the spawning thread
+/// right after `Sim::run` can otherwise race the lane's [`LocalSlot`]
+/// teardown and silently miss that lane's events. The TLS destructor
+/// stays as the backstop for threads that never attach to a gate.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|local| {
+        if let Some(lt) = local.slot.borrow_mut().take() {
+            park_if_current(lt);
+        }
+    });
+}
+
 /// Record one event on the current thread, stamped with its virtual clock.
 ///
 /// A no-op (one relaxed load) unless a [`TraceSession`] is armed. Never

@@ -28,7 +28,7 @@
 //! packs `(node index << 1) | marked`. Keys are shifted by +1 so the head
 //! sentinel sorts below every key; the tail sentinel is `u32::MAX`.
 
-use pto_core::policy::{pto, PtoPolicy, PtoStats};
+use pto_core::policy::{pto, pto_adaptive, AdaptivePolicy, PtoPolicy, PtoStats};
 use pto_core::{ConcurrentSet, PriorityQueue};
 use pto_htm::{TxResult, TxWord};
 use pto_mem::epoch::{self, Guard};
@@ -96,6 +96,11 @@ thread_local! {
 enum Mode {
     LockFree,
     Pto { policy: PtoPolicy, stats: PtoStats },
+    /// Self-tuning PTO: each accelerated superblock's call site adapts
+    /// its retry budget from its own abort-cause stream, with the
+    /// single-orec middle path available (both superblocks are purely
+    /// transactional, so an owned-orec re-run cannot self-deadlock).
+    Adaptive { policy: AdaptivePolicy, stats: PtoStats },
 }
 
 /// The shared tower machinery.
@@ -327,6 +332,12 @@ impl SkipList {
                     |tx| self.link_tx(tx, node, height, &f),
                     || self.link_lockfree(node, height, key, &f, g),
                 ),
+                Mode::Adaptive { policy, stats } => pto_adaptive(
+                    policy,
+                    stats,
+                    |tx| self.link_tx(tx, node, height, &f),
+                    || self.link_lockfree(node, height, key, &f, g),
+                ),
             };
             if linked {
                 return true;
@@ -400,6 +411,12 @@ impl SkipList {
         match &self.mode {
             Mode::LockFree => self.mark_lockfree(node, height),
             Mode::Pto { policy, stats } => pto(
+                policy,
+                stats,
+                |tx| self.mark_tx(tx, node, height),
+                || self.mark_lockfree(node, height),
+            ),
+            Mode::Adaptive { policy, stats } => pto_adaptive(
                 policy,
                 stats,
                 |tx| self.mark_tx(tx, node, height),
@@ -579,10 +596,27 @@ impl SkipListSet {
         }
     }
 
+    /// Self-tuning PTO with the default adaptation knobs over the default
+    /// PTO policy.
+    pub fn new_adaptive() -> Self {
+        Self::new_adaptive_with(AdaptivePolicy::new(PtoPolicy::with_attempts(3)))
+    }
+
+    /// Self-tuning PTO with full control over the adaptation surface
+    /// (middle-path forcing, streak/probe tuning).
+    pub fn new_adaptive_with(policy: AdaptivePolicy) -> Self {
+        SkipListSet {
+            list: SkipList::new(Mode::Adaptive {
+                policy,
+                stats: PtoStats::new(),
+            }),
+        }
+    }
+
     pub fn pto_stats(&self) -> Option<&PtoStats> {
         match &self.list.mode {
             Mode::LockFree => None,
-            Mode::Pto { stats, .. } => Some(stats),
+            Mode::Pto { stats, .. } | Mode::Adaptive { stats, .. } => Some(stats),
         }
     }
 
@@ -634,10 +668,20 @@ impl SkipQueue {
         }
     }
 
+    /// Self-tuning PTO (see [`SkipListSet::new_adaptive_with`]).
+    pub fn new_adaptive_with(policy: AdaptivePolicy) -> Self {
+        SkipQueue {
+            list: SkipList::new(Mode::Adaptive {
+                policy,
+                stats: PtoStats::new(),
+            }),
+        }
+    }
+
     pub fn pto_stats(&self) -> Option<&PtoStats> {
         match &self.list.mode {
             Mode::LockFree => None,
-            Mode::Pto { stats, .. } => Some(stats),
+            Mode::Pto { stats, .. } | Mode::Adaptive { stats, .. } => Some(stats),
         }
     }
 
@@ -749,6 +793,18 @@ mod tests {
         oracle_test(&SkipListSet::new_pto(), 77, 4_000);
     }
 
+    #[test]
+    fn matches_btreeset_oracle_adaptive() {
+        oracle_test(&SkipListSet::new_adaptive(), 78, 4_000);
+    }
+
+    #[test]
+    fn set_semantics_adaptive() {
+        let s = SkipListSet::new_adaptive();
+        set_semantics(&s);
+        assert!(s.pto_stats().unwrap().fast.get() > 0);
+    }
+
     fn concurrent_set_stress(s: &SkipListSet, nthreads: usize, ops: usize, range: u64) {
         std::thread::scope(|sc| {
             for t in 0..nthreads {
@@ -797,6 +853,23 @@ mod tests {
     fn concurrent_stress_pto_set() {
         let s = SkipListSet::new_pto();
         concurrent_set_stress(&s, 4, 2_000, 128);
+    }
+
+    #[test]
+    fn concurrent_stress_adaptive_set() {
+        let s = SkipListSet::new_adaptive();
+        concurrent_set_stress(&s, 4, 2_000, 128);
+    }
+
+    #[test]
+    fn concurrent_stress_adaptive_middle_forced_set() {
+        // Streak of 1 + one HTM attempt on a tiny key range: conflicted
+        // superblocks go straight to the single-orec middle path.
+        let s = SkipListSet::new_adaptive_with(
+            AdaptivePolicy::new(PtoPolicy::with_attempts(1)).with_middle_streak(1),
+        );
+        concurrent_set_stress(&s, 4, 2_000, 8);
+        s.check_towers().unwrap();
     }
 
     #[test]

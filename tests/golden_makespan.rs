@@ -21,7 +21,8 @@
 //! purpose, regenerate the goldens: run with `PTO_GOLDEN_PRINT=1` and
 //! paste the printed block.
 
-use pto_core::policy::{pto, PtoPolicy, PtoStats};
+use pto_bst::{Bst, BstVariant};
+use pto_core::policy::{pto, pto_adaptive, AdaptivePolicy, PtoPolicy, PtoStats};
 use pto_core::traits::FifoQueue;
 use pto_core::{ConcurrentSet, Quiescence};
 use pto_htm::TxWord;
@@ -203,6 +204,101 @@ fn queue_workload(q: &MsQueue, ops: u64, seed: u64) -> u64 {
     out.makespan
 }
 
+/// The `private_word_pto` shape run through the self-tuning executor:
+/// 4 lanes, lane 0 runs private-word RMW prefixes plus explicit-abort→
+/// fallback ops under [`pto_adaptive`]. Lane-private state, so the grant /
+/// EWMA / regime bookkeeping — and its charged costs — are pinned
+/// bit-exactly. On a conflict-free stream the adaptive executor must
+/// behave exactly like `pto` with its base policy.
+fn private_word_adaptive() -> u64 {
+    pto_sim::clock::reset();
+    let word = TxWord::new(0);
+    let out = Sim::new(4).run(|lane| {
+        if lane == 0 {
+            let policy = AdaptivePolicy::new(PtoPolicy::with_attempts(3));
+            let stats = PtoStats::new();
+            for _ in 0..300 {
+                pto_adaptive(
+                    &policy,
+                    &stats,
+                    |tx| {
+                        let v = tx.read(&word)?;
+                        tx.write(&word, v + 1)?;
+                        Ok(())
+                    },
+                    || unreachable!("private word: the prefix cannot abort"),
+                );
+            }
+            for _ in 0..100 {
+                pto_adaptive(&policy, &stats, |tx| Err::<(), _>(tx.abort(1)), || ());
+            }
+            assert_eq!(
+                stats.fast.get(),
+                300,
+                "conflict-free adaptive stream must stay on the fast path"
+            );
+        } else {
+            for _ in 0..400 {
+                let _g = pto_mem::epoch::pin();
+                pto_sim::charge_n(CostKind::Work, 5);
+            }
+        }
+    });
+    out.makespan
+}
+
+/// 1-lane setbench loop over the BST's §4.4 composition under self-tuning
+/// policies ([`BstVariant::Adaptive`]): pins the adaptive whole-op /
+/// update-phase composition end to end (grants, capacity shrink, pool
+/// recycling) on a real structure.
+fn bst_adaptive_workload() -> u64 {
+    let b = Bst::new(BstVariant::Adaptive);
+    set_workload(&b, 400, 128, 42)
+}
+
+/// Deterministic single-lane middle-path workload. One op runs against
+/// its own software-held orec: both HTM attempts conflict on that one
+/// granule, which arms the site (streak 1, `with_middle_streak(1)`) and
+/// sends the op to the fallback. Then, under `injection_scope(2, 0)`,
+/// every subsequent op's single optimistic HTM attempt is doomed
+/// (Spurious) while the middle-path re-run under the owned orec commits —
+/// the injection counter advances exactly twice per op, so the parity is
+/// stable and the middle path carries every remaining op.
+fn middle_path_word() -> u64 {
+    pto_sim::clock::reset();
+    let word = TxWord::new(0);
+    let out = Sim::new(1).run(|_| {
+        let policy = AdaptivePolicy::new(PtoPolicy::with_attempts(2)).with_middle_streak(1);
+        let stats = PtoStats::new();
+        // The adaptive state is keyed by call site: the arming op and the
+        // injected ops must flow through the same `pto_adaptive` call.
+        let _inj = pto_htm::injection_scope(2, 0);
+        for i in 0..41 {
+            let _own = (i == 0).then(|| {
+                pto_htm::try_acquire_orec(word.orec_index(), 64)
+                    .expect("fresh orec must be free")
+            });
+            pto_adaptive(
+                &policy,
+                &stats,
+                |tx| {
+                    let v = tx.read(&word)?;
+                    tx.write(&word, v + 1)?;
+                    Ok(())
+                },
+                || {
+                    assert_eq!(i, 0, "the middle path must carry every injected op");
+                    pto_sim::charge_n(CostKind::Work, 3);
+                },
+            );
+        }
+        assert_eq!(stats.middle.get(), 40, "middle path must commit every injected op");
+        assert_eq!(stats.fallback.get(), 1, "only the arming op may fall back");
+        assert_eq!(word.peek(), 40, "each middle commit publishes one increment");
+    });
+    out.makespan
+}
+
 const GOLDEN_PRIVATE_WORD_PTO: Golden = (24800, 400, 300, 0, 0, 100, 0, 0);
 const GOLDEN_LIST_PTO_WHOLE: Golden = (255681, 353, 353, 0, 0, 0, 0, 0);
 const GOLDEN_LIST_PTO_UPDATE: Golden = (257578, 201, 201, 0, 0, 0, 0, 0);
@@ -212,6 +308,38 @@ const GOLDEN_MINDICATOR_LOCKFREE: Golden = (371200, 0, 0, 0, 0, 0, 0, 0);
 const GOLDEN_MSQUEUE_PTO: Golden = (67750, 564, 564, 0, 0, 0, 0, 0);
 const GOLDEN_LANE_PRIVATE_64_HASWELL: Golden = (7836, 150, 150, 0, 0, 0, 0, 0);
 const GOLDEN_LANE_PRIVATE_64_NUMAISH: Golden = (19156, 150, 150, 0, 0, 0, 0, 0);
+// Note: `private_word_adaptive` equals `private_word_pto` exactly — on a
+// conflict-free stream the self-tuning executor must add zero virtual cost.
+const GOLDEN_PRIVATE_WORD_ADAPTIVE: Golden = (24800, 400, 300, 0, 0, 100, 0, 0);
+const GOLDEN_BST_ADAPTIVE: Golden = (165066, 499, 499, 0, 0, 0, 0, 0);
+const GOLDEN_MIDDLE_PATH_WORD: Golden = (4418, 82, 40, 2, 0, 0, 0, 40);
+
+#[test]
+fn golden_private_word_adaptive_4lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(private_word_adaptive);
+    check("private_word_adaptive", got, GOLDEN_PRIVATE_WORD_ADAPTIVE);
+    let again = measure(private_word_adaptive);
+    assert_eq!(got, again, "adaptive private-word workload is not deterministic");
+}
+
+#[test]
+fn golden_bst_adaptive_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(bst_adaptive_workload);
+    check("bst_adaptive", got, GOLDEN_BST_ADAPTIVE);
+    let again = measure(bst_adaptive_workload);
+    assert_eq!(got, again, "adaptive BST workload is not deterministic");
+}
+
+#[test]
+fn golden_middle_path_word_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(middle_path_word);
+    check("middle_path_word", got, GOLDEN_MIDDLE_PATH_WORD);
+    let again = measure(middle_path_word);
+    assert_eq!(got, again, "middle-path workload is not deterministic");
+}
 
 #[test]
 fn golden_private_word_pto_4lane() {
