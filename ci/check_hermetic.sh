@@ -48,6 +48,17 @@ if bad:
     sys.exit(1)
 print("ok: pto-check depends only on pto-* crates")
 
+# The composition layer (pto_core::compose and the policies under it)
+# must also verify with what it ships: pto-core may depend only on
+# pto-*-namespaced workspace crates.
+core = next(p for p in meta["packages"] if p["name"] == "pto-core")
+bad = sorted(d["name"] for d in core["dependencies"]
+             if not d["name"].startswith("pto-"))
+if bad:
+    print("pto-core has non-workspace dependencies: " + ", ".join(bad))
+    sys.exit(1)
+print("ok: pto-core depends only on pto-* crates")
+
 # The simulator is the foundation everything instruments against (clock,
 # trace, metrics, json); it must not grow dependencies at all — a pto-sim
 # that pulls in siblings inverts the layering, and an external crate

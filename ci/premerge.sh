@@ -27,6 +27,16 @@ timeout 30 cargo run -q --release -p pto-bench --bin adaptive_sweep -- --smoke
 echo "== lincheck smoke: linearizability sweep, variant cells sharded across cores"
 timeout 30 cargo run -q --release -p pto-bench --bin lincheck -- --smoke
 
+echo "== compose smoke: cross-structure scenarios (conservation + consistency rails)"
+# Bank-transfer (two hash tables, token conservation under concurrent
+# audits and abort injection) and order-book (mound + index agreement),
+# each across the fallback/pto/adaptive series with SLO rails, plus the
+# multi-object lincheck leg (pair/transfer product specs through the WGL
+# checker).
+timeout 30 cargo run -q --release -p pto-bench --bin bank_transfer -- --smoke
+timeout 30 cargo run -q --release -p pto-bench --bin order_book -- --smoke
+timeout 30 cargo run -q --release -p pto-bench --bin compose_smoke -- --smoke
+
 echo "== 64-lane smoke: tournament-gate liveness + dual-profile golden makespans"
 # Gate invariants at server scale (64/256-lane sched tests) and the
 # 64-lane Haswell/NumaIsh golden pair; artifacts already built above, so

@@ -1,0 +1,105 @@
+//! The bank-transfer composed figure: two PTO hash tables, atomic token
+//! transfers, and concurrent composed audits asserting conservation.
+//!
+//! Series: `fallback` (zero prefix attempts — the NBTC-style ordered-lock
+//! baseline), `pto` (static retry budget), `adaptive` (PR 9 self-tuning).
+//! The driver asserts the conservation invariant inside the measured loop
+//! and after quiescence, and this harness additionally runs an
+//! **abort-injection leg** (every 7th would-commit transaction killed at
+//! its commit point) that must also conserve — the acceptance claim that
+//! composed atomicity survives the demotion to the lock path.
+//!
+//! Output: the throughput table with ratio columns, abort-cause /
+//! latency / metrics sections (including the `policy.compose_*` columns),
+//! the per-tenant composed-site table, the SLO verdicts, and
+//! `results/compose_bank.csv`, `results/lat_compose_bank.csv`,
+//! `results/compose_bank_tenants.csv`, `results/slo_compose_bank.csv`.
+//! `--smoke` trims the axis and op counts for the premerge gate; any
+//! invariant or SLO failure exits non-zero.
+
+use pto_bench::report::Table;
+use pto_bench::scenario::{self, TenantRow};
+use pto_bench::{cells, slo};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads: &[usize] = if smoke { &[2, 4] } else { &[1, 2, 4, 8] };
+    let (ops, tokens, trials) = if smoke {
+        (250u64, 192u64, 1u32)
+    } else {
+        (1_500, 512, pto_bench::trials())
+    };
+
+    let mut t = Table::new(
+        "COMPOSE — bank transfer: two hash tables, atomic transfers + audits (ops/ms)",
+        &scenario::SERIES,
+    );
+    let mut tenants: Vec<TenantRow> = Vec::new();
+    for &n in threads {
+        let mut vals = Vec::new();
+        for series in scenario::SERIES {
+            let out = cells::run_scoped(cells::cell_key(series, n as u64), || {
+                let mut rows: Vec<TenantRow> = Vec::new();
+                let mut sum = 0.0;
+                for trial in 0..trials {
+                    let o = scenario::bank_transfer(series, n, ops, tokens, 0xBA2C + trial as u64);
+                    sum += o.ops_per_ms;
+                    scenario::merge_tenants(&mut rows, &o.tenants);
+                }
+                (sum / trials as f64, rows)
+            });
+            let (thr, rows) = out.value;
+            scenario::merge_tenants(&mut tenants, &rows);
+            t.push_cause(n, series, out.htm, out.mem);
+            t.push_lat(n, series, out.lat);
+            t.push_met(n, series, out.met);
+            vals.push(thr);
+        }
+        t.push(n, vals);
+    }
+
+    print!("{}", t.render());
+    print!("{}", t.sparklines());
+    print!("{}", t.render_causes());
+    print!("{}", t.render_latency());
+    print!("{}", t.render_metrics());
+    print!("{}", scenario::render_tenants("bank_transfer", &tenants));
+
+    // Abort-injection leg: the conservation invariant must hold with
+    // commit-point kills forcing ops down the demotion chain.
+    {
+        let _inj = pto_htm::injection_scope(7, 3);
+        let o = scenario::bank_transfer("adaptive", 4, ops.min(400), tokens, 0x1217);
+        let fb: u64 = o.tenants.iter().map(|r| r.fallback).sum();
+        assert!(
+            fb > 0,
+            "injection leg never reached the ordered-lock fallback"
+        );
+        println!(
+            "injection leg: conservation held under commit-point kills \
+             ({fb} ops on the lock path, {:.0} ops/ms)",
+            o.ops_per_ms
+        );
+    }
+
+    let report = slo::evaluate("bank_transfer", &t, &slo::spec_for("bank_transfer"));
+    print!("{}", report.render());
+
+    t.write_csv("compose_bank").expect("write results/compose_bank.csv");
+    t.write_latency_csv("compose_bank")
+        .expect("write results/lat_compose_bank.csv");
+    std::fs::write(
+        "results/compose_bank_tenants.csv",
+        scenario::tenants_csv(&tenants),
+    )
+    .expect("write results/compose_bank_tenants.csv");
+    report
+        .write_csv("compose_bank")
+        .expect("write results/slo_compose_bank.csv");
+    println!("-> results/compose_bank.csv (+ lat, tenants, slo)");
+
+    if !report.pass() {
+        eprintln!("SLO rails FAILED on the bank-transfer figure");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Multi-object linearizability gate for the composed subsystem (run by
+//! `ci/premerge.sh` alongside the `bank_transfer`/`order_book` smokes).
+//!
+//! Drives `pto-check`'s multi-object explorer over the three composed
+//! structure pairs — msqueue→skiplist pop-and-insert, hashtable↔hashtable
+//! conditional transfer, mound+hashtable order book — under every
+//! [`ComposedVariant`] (`pto`, `fallback`, `adaptive`), with the odd
+//! schedules arming commit-point abort injection so the HTM → middle →
+//! ordered-lock demotion chain is exercised while the WGL checker decides
+//! cross-structure atomicity against the product specs.
+//!
+//! Every (pair, variant) cell is independent and shards across the
+//! [`pto_sim::par`] workers via [`pto_bench::cells::sweep`].
+//!
+//! Run modes:
+//!
+//! * default — the acceptance workload: every cell replays enough
+//!   schedules that each pair clears >= 1000 checked ops, asserted;
+//! * `--smoke` — trimmed schedule count for the premerge gate, bounded
+//!   well under 30 s in release builds.
+//!
+//! Exits non-zero on any violation, any exhausted check, a cell whose
+//! workload produced no composed ops, or (full mode) a pair under the
+//! checked-op floor.
+
+use pto_bench::cells;
+use pto_check::{
+    explore_order_book, explore_queue_set, explore_table_transfer, ComposedVariant, ExploreCfg,
+    MultiReport,
+};
+use std::collections::BTreeMap;
+
+type Explorer = fn(&ExploreCfg, ComposedVariant) -> MultiReport;
+
+const PAIRS: [(&str, Explorer); 3] = [
+    ("queue->skiplist", explore_queue_set),
+    ("table<->table", explore_table_transfer),
+    ("mound+index", explore_order_book),
+];
+
+const VARIANTS: [(&str, ComposedVariant); 3] = [
+    ("pto", ComposedVariant::Pto),
+    ("fallback", ComposedVariant::Fallback),
+    ("adaptive", ComposedVariant::Adaptive),
+];
+
+struct Job {
+    name: String,
+    pair: &'static str,
+    explore: Explorer,
+    variant: ComposedVariant,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let schedules = if smoke { 2 } else { 6 };
+    let cfg = ExploreCfg {
+        seed: 0xC0_5E11,
+        lanes: 4,
+        ops_per_lane: 64,
+        keyspace: 24,
+        schedules,
+        max_nodes: 10_000_000,
+    };
+
+    println!(
+        "compose_smoke: {} lanes x {} ops/lane, {} schedules/cell, {} workers{}",
+        cfg.lanes,
+        cfg.ops_per_lane,
+        cfg.schedules,
+        pto_sim::par::worker_count(),
+        if smoke { " (smoke)" } else { "" },
+    );
+    println!(
+        "  {:<26} {:>9} {:>12} {:>12}   verdict",
+        "pair/variant", "schedules", "ops-checked", "composed"
+    );
+
+    let jobs: Vec<Job> = PAIRS
+        .iter()
+        .flat_map(|&(pair, explore)| {
+            VARIANTS.iter().map(move |&(vname, variant)| Job {
+                name: format!("{pair}/{vname}"),
+                pair,
+                explore,
+                variant,
+            })
+        })
+        .collect();
+
+    let outs = cells::sweep(
+        jobs,
+        |j| cells::cell_key(&j.name, 0),
+        |j| {
+            let report = (j.explore)(&cfg, j.variant);
+            (j.name.clone(), j.pair, report)
+        },
+    );
+
+    let mut failed = false;
+    let mut per_pair: BTreeMap<&str, u64> = BTreeMap::new();
+    for out in outs {
+        let (name, pair, report) = out.value;
+        *per_pair.entry(pair).or_default() += report.ops_checked;
+        let verdict = if let Some(v) = &report.violation {
+            failed = true;
+            format!("VIOLATION (schedule {})", v.schedule)
+        } else if report.exhausted > 0 {
+            failed = true;
+            format!("EXHAUSTED ({})", report.exhausted)
+        } else if report.composed_ops == 0 {
+            failed = true;
+            "NO COMPOSED OPS".to_string()
+        } else {
+            "linearizable".to_string()
+        };
+        println!(
+            "  {name:<26} {:>9} {:>12} {:>12}   {verdict}",
+            report.schedules_run, report.ops_checked, report.composed_ops
+        );
+        if let Some(v) = &report.violation {
+            println!("{}", v.witness.render());
+        }
+    }
+
+    let total: u64 = per_pair.values().sum();
+    println!("\n{} pairs, {total} ops checked total", per_pair.len());
+    if !smoke {
+        for (pair, checked) in &per_pair {
+            if *checked < 1_000 {
+                eprintln!("pair {pair} checked only {checked} ops (< 1000 acceptance floor)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

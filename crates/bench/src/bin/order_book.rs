@@ -1,0 +1,100 @@
+//! The order-book composed figure: a Mound of resting orders plus a
+//! hash-table order index, kept consistent by composed place/fill ops.
+//!
+//! Series: `fallback` / `pto` / `adaptive`, as in `bank_transfer`. The
+//! driver asserts no order is lost between book and index (every fill's
+//! index-remove must succeed; book and index sizes agree after
+//! quiescence), and the harness runs an abort-injection leg that must
+//! uphold the same invariants on the lock path.
+//!
+//! Output mirrors `bank_transfer`: throughput + causes + latency +
+//! metrics (with the `policy.compose_*` columns) + per-tenant table +
+//! SLO verdicts, and `results/compose_book.csv` (+ `lat_`, `_tenants`,
+//! `slo_` siblings). `--smoke` trims for the premerge gate.
+
+use pto_bench::report::Table;
+use pto_bench::scenario::{self, TenantRow};
+use pto_bench::{cells, slo};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads: &[usize] = if smoke { &[2, 4] } else { &[1, 2, 4, 8] };
+    let (ops, trials) = if smoke {
+        (250u64, 1u32)
+    } else {
+        (1_500, pto_bench::trials())
+    };
+
+    let mut t = Table::new(
+        "COMPOSE — order book: mound + hash index, atomic place/fill (ops/ms)",
+        &scenario::SERIES,
+    );
+    let mut tenants: Vec<TenantRow> = Vec::new();
+    for &n in threads {
+        let mut vals = Vec::new();
+        for series in scenario::SERIES {
+            let out = cells::run_scoped(cells::cell_key(series, n as u64), || {
+                let mut rows: Vec<TenantRow> = Vec::new();
+                let mut sum = 0.0;
+                for trial in 0..trials {
+                    let o = scenario::order_book(series, n, ops, 0x0B00 + trial as u64);
+                    sum += o.ops_per_ms;
+                    scenario::merge_tenants(&mut rows, &o.tenants);
+                }
+                (sum / trials as f64, rows)
+            });
+            let (thr, rows) = out.value;
+            scenario::merge_tenants(&mut tenants, &rows);
+            t.push_cause(n, series, out.htm, out.mem);
+            t.push_lat(n, series, out.lat);
+            t.push_met(n, series, out.met);
+            vals.push(thr);
+        }
+        t.push(n, vals);
+    }
+
+    print!("{}", t.render());
+    print!("{}", t.sparklines());
+    print!("{}", t.render_causes());
+    print!("{}", t.render_latency());
+    print!("{}", t.render_metrics());
+    print!("{}", scenario::render_tenants("order_book", &tenants));
+
+    // Abort-injection leg: no order lost even when prefixes die at the
+    // commit point and the ordered-lock path carries the ops.
+    {
+        let _inj = pto_htm::injection_scope(7, 5);
+        let o = scenario::order_book("adaptive", 4, ops.min(400), 0x0B0B);
+        let fb: u64 = o.tenants.iter().map(|r| r.fallback).sum();
+        assert!(
+            fb > 0,
+            "injection leg never reached the ordered-lock fallback"
+        );
+        println!(
+            "injection leg: book/index stayed consistent under commit-point kills \
+             ({fb} ops on the lock path, {:.0} ops/ms)",
+            o.ops_per_ms
+        );
+    }
+
+    let report = slo::evaluate("order_book", &t, &slo::spec_for("order_book"));
+    print!("{}", report.render());
+
+    t.write_csv("compose_book").expect("write results/compose_book.csv");
+    t.write_latency_csv("compose_book")
+        .expect("write results/lat_compose_book.csv");
+    std::fs::write(
+        "results/compose_book_tenants.csv",
+        scenario::tenants_csv(&tenants),
+    )
+    .expect("write results/compose_book_tenants.csv");
+    report
+        .write_csv("compose_book")
+        .expect("write results/slo_compose_book.csv");
+    println!("-> results/compose_book.csv (+ lat, tenants, slo)");
+
+    if !report.pass() {
+        eprintln!("SLO rails FAILED on the order-book figure");
+        std::process::exit(1);
+    }
+}

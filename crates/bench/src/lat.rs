@@ -18,8 +18,10 @@ use pto_sim::hist::{HistSnapshot, Histogram};
 use std::sync::Arc;
 
 /// The operation vocabulary across all drivers: set ops (setbench),
-/// priority-queue ops (pqbench), FIFO ops (fifobench), and the
-/// Mindicator's arrive/depart pairs (mbench).
+/// priority-queue ops (pqbench), FIFO ops (fifobench), the Mindicator's
+/// arrive/depart pairs (mbench), and the composed scenario ops (a
+/// `transfer` moves a key between two structures atomically, an `audit`
+/// reads both sides of a composed pair in one transaction).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpKind {
     Insert,
@@ -31,10 +33,15 @@ pub enum OpKind {
     Dequeue,
     Arrive,
     Depart,
+    Transfer,
+    Audit,
 }
 
+/// Number of operation kinds (histogram array width).
+pub const N_KINDS: usize = 11;
+
 /// Every kind, in display order.
-pub const ALL: [OpKind; 9] = [
+pub const ALL: [OpKind; N_KINDS] = [
     OpKind::Insert,
     OpKind::Remove,
     OpKind::Contains,
@@ -44,6 +51,8 @@ pub const ALL: [OpKind; 9] = [
     OpKind::Dequeue,
     OpKind::Arrive,
     OpKind::Depart,
+    OpKind::Transfer,
+    OpKind::Audit,
 ];
 
 impl OpKind {
@@ -58,6 +67,8 @@ impl OpKind {
             OpKind::Dequeue => "dequeue",
             OpKind::Arrive => "arrive",
             OpKind::Depart => "depart",
+            OpKind::Transfer => "transfer",
+            OpKind::Audit => "audit",
         }
     }
 }
@@ -66,10 +77,10 @@ impl OpKind {
 /// each own one.
 #[derive(Default)]
 struct Block {
-    hists: [Histogram; 9],
+    hists: [Histogram; N_KINDS],
 }
 
-static HISTS: [Histogram; 9] = [const { Histogram::new() }; 9];
+static HISTS: [Histogram; N_KINDS] = [const { Histogram::new() }; N_KINDS];
 
 /// Record one operation's latency in virtual cycles — into the installed
 /// [`LatScope`]'s block if one is set on this thread (directly or
@@ -136,14 +147,14 @@ impl Drop for LatScope {
 /// snapshot per [`OpKind`], indexed like [`ALL`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LatSnapshot {
-    pub hists: [HistSnapshot; 9],
+    pub hists: [HistSnapshot; N_KINDS],
 }
 
 impl LatSnapshot {
     /// Merge (histogram addition) with another window.
     pub fn merge(&self, other: &LatSnapshot) -> LatSnapshot {
         let mut out = LatSnapshot::default();
-        for i in 0..9 {
+        for i in 0..N_KINDS {
             out.hists[i] = self.hists[i].merge(&other.hists[i]);
         }
         out
@@ -265,7 +276,7 @@ mod tests {
         let names: Vec<_> = ALL.iter().map(|k| k.name()).collect();
         let mut dedup = names.clone();
         dedup.dedup();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), N_KINDS);
         assert_eq!(names, dedup);
         for (i, k) in ALL.iter().enumerate() {
             assert_eq!(*k as usize, i, "ALL order must match discriminants");

@@ -17,7 +17,9 @@
 //! One binary per figure (`fig2a` … `fig5c`), plus the tuning/ablation
 //! harnesses (`retry_sweep`, `ablation_capacity`, `ablation_help`) and
 //! `run_all`, which regenerates everything and writes CSVs under
-//! `results/`.
+//! `results/`. The [`scenario`] module adds the composed cross-structure
+//! figures (`bank_transfer`, `order_book`) and their multi-object
+//! lincheck gate (`compose_smoke`).
 
 pub mod baselines;
 pub mod cells;
@@ -25,6 +27,7 @@ pub mod drivers;
 pub mod figs;
 pub mod lat;
 pub mod report;
+pub mod scenario;
 pub mod slo;
 
 pub use drivers::{mbench, pqbench, setbench, PqFactory, SetFactory};

@@ -334,8 +334,10 @@ impl Table {
     }
 
     /// Metrics-series aggregates per series (all axis points merged):
-    /// commit/abort totals from the metrics plane, fallback entries, and
-    /// the scheduler/reclamation diagnostics — gate park episodes, max
+    /// commit/abort totals from the metrics plane, fallback entries,
+    /// composed-site entries and ordered-lock fallbacks
+    /// (`policy.compose_*`), and the scheduler/reclamation diagnostics —
+    /// gate park episodes, max
     /// park-time skew, tournament-root staleness backstops, max epoch lag,
     /// magazine and limbo high-water marks, combiner throughput. Empty
     /// string when no metrics cells were attached. Gate columns are
@@ -348,11 +350,13 @@ impl Table {
         let _ = writeln!(out, "### metrics — {}", self.title);
         let _ = writeln!(
             out,
-            "{:>16}{:>10}{:>10}{:>10}{:>11}{:>10}{:>10}{:>10}{:>8}{:>8}{:>10}",
+            "{:>16}{:>10}{:>10}{:>10}{:>9}{:>8}{:>11}{:>10}{:>10}{:>10}{:>8}{:>8}{:>10}",
             "series",
             "commits",
             "aborts",
             "fallback",
+            "compose",
+            "c_fall",
             "gate_parks",
             "backstops",
             "skew_max",
@@ -373,11 +377,13 @@ impl Table {
             let aborts: u64 = ABORTS.iter().map(|&a| m.total(a)).sum();
             let _ = writeln!(
                 out,
-                "{:>16}{:>10}{:>10}{:>10}{:>11}{:>10}{:>10}{:>10}{:>8}{:>8}{:>10}",
+                "{:>16}{:>10}{:>10}{:>10}{:>9}{:>8}{:>11}{:>10}{:>10}{:>10}{:>8}{:>8}{:>10}",
                 trunc(s, 16),
                 m.total(Series::Commits),
                 aborts,
                 m.total(Series::FallbackDepth),
+                m.total(Series::PolicyComposeEntries),
+                m.total(Series::PolicyComposeFallbacks),
                 m.total(Series::GateParks),
                 m.total(Series::GateBackstops),
                 m.max(Series::GateSkew),

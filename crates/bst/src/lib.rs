@@ -28,6 +28,7 @@
 //!
 //! Keys are `u32` with `u32::MAX` reserved as the +∞ sentinel.
 
+use pto_core::compose::Anchor;
 use pto_core::policy::{pto, pto_adaptive, AdaptivePolicy, PtoPolicy, PtoStats};
 use pto_core::ConcurrentSet;
 use pto_htm::{TxResult, TxWord, Txn};
@@ -190,6 +191,7 @@ pub struct Bst {
     /// Inner (PTO2 / update-phase) path statistics.
     pub stats2: PtoStats,
     grandroot: u32,
+    anchor: Anchor,
 }
 
 impl Bst {
@@ -246,6 +248,7 @@ impl Bst {
             stats1: PtoStats::new(),
             stats2: PtoStats::new(),
             grandroot,
+            anchor: Anchor::new(),
         }
     }
 
@@ -859,6 +862,47 @@ impl Bst {
                 _ => unreachable!("delete cannot produce insert outcomes"),
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Compose surface (pto_core::compose)
+    // ------------------------------------------------------------------
+
+    /// This tree's participation anchor for composed operations.
+    pub fn anchor(&self) -> &Anchor {
+        &self.anchor
+    }
+
+    /// Transactional delete half for a composed prefix: `Some((parent,
+    /// leaf))` when `key` was removed (pass the pair to
+    /// [`Bst::compose_retire_pair`] **after** the composed transaction
+    /// commits), `None` when absent. A flagged grandparent/parent needs
+    /// helping, so it aborts and the composed fallback — the ordinary
+    /// [`ConcurrentSet::remove`] under the anchors — takes over.
+    #[doc(hidden)]
+    pub fn tx_compose_remove<'e>(
+        &'e self,
+        tx: &mut Txn<'e>,
+        key: u64,
+    ) -> TxResult<Option<(u32, u32)>> {
+        match self.tx_delete_whole(tx, check_key(key))? {
+            Attempt::Deleted { p, l } => Ok(Some((p, l))),
+            Attempt::Absent => Ok(None),
+            _ => Err(tx.abort(pto_core::ABORT_HELP)),
+        }
+    }
+
+    /// Transactional membership half for a composed prefix.
+    #[doc(hidden)]
+    pub fn tx_compose_contains<'e>(&'e self, tx: &mut Txn<'e>, key: u64) -> TxResult<bool> {
+        self.tx_lookup(tx, check_key(key))
+    }
+
+    /// Retire the nodes pruned by a committed [`Bst::tx_compose_remove`].
+    #[doc(hidden)]
+    pub fn compose_retire_pair(&self, p: u32, l: u32) {
+        self.nodes.retire(p);
+        self.nodes.retire(l);
     }
 
     fn contains_impl(&self, k: u32) -> bool {

@@ -63,8 +63,8 @@ impl Default for ExploreCfg {
 
 /// One derived schedule.
 #[derive(Clone, Debug)]
-struct Schedule {
-    quantum: u64,
+pub(crate) struct Schedule {
+    pub(crate) quantum: u64,
     /// Stall window per lane (0 = high priority); a stalling lane charges
     /// a uniform draw below its window before each operation.
     stall: Vec<u64>,
@@ -74,7 +74,7 @@ struct Schedule {
     inject: Option<(u64, u64)>,
 }
 
-fn derive_schedule(cfg: &ExploreCfg, idx: u32) -> Schedule {
+pub(crate) fn derive_schedule(cfg: &ExploreCfg, idx: u32) -> Schedule {
     let mut rng = XorShift64::new(
         cfg.seed ^ WEYL_STEP.wrapping_mul(idx as u64 + 1),
     );
@@ -141,6 +141,20 @@ fn record_one<F>(cfg: &ExploreCfg, sched: &Schedule, body: F) -> History
 where
     F: Fn(usize, usize, &mut XorShift64) + Sync,
 {
+    let raw = record_raw(cfg, sched, body);
+    decode(&raw).expect("exploration histories record completely")
+}
+
+/// Like [`record_one`] but returning the raw recording, so decoders other
+/// than the single-object one ([`crate::multi::decode_multi`]) can run.
+pub(crate) fn record_raw<F>(
+    cfg: &ExploreCfg,
+    sched: &Schedule,
+    body: F,
+) -> pto_sim::history::RawHistory
+where
+    F: Fn(usize, usize, &mut XorShift64) + Sync,
+{
     // Scoped history + scoped injection: the whole recording is private to
     // this thread (and the sim lanes it spawns), so explorer cells for
     // different variants can run concurrently on the cell runner's workers
@@ -166,8 +180,7 @@ where
         }
         pto_sim::history::flush();
     });
-    let raw = session.drain();
-    decode(&raw).expect("exploration histories record completely")
+    session.drain()
 }
 
 fn finish(
@@ -430,7 +443,7 @@ pub fn explore_qui(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     fn tiny() -> ExploreCfg {

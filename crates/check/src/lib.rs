@@ -27,12 +27,18 @@
 //!   PCT-style priority stalls, and deterministic abort injection via
 //!   [`pto_htm::injection_scope`] — all scoped per cell, so the sharded
 //!   `lincheck` harness explores variants concurrently.
+//! * [`multi`] — multi-object histories for [`pto_core::compose`]: the
+//!   [`PairSpec`]/[`TransferSpec`] product specs, the pair wire encoding,
+//!   and explorers for three composed structure pairs (msqueue→skiplist,
+//!   hashtable↔hashtable, mound+hashtable), with abort injection aimed at
+//!   the composed prefix's commit point.
 //!
 //! Like every `pto-*` crate, this one is hermetic: it depends only on
 //! workspace crates.
 
 pub mod broken;
 pub mod explore;
+pub mod multi;
 pub mod record;
 pub mod spec;
 pub mod tle;
@@ -41,8 +47,14 @@ pub mod wgl;
 pub use explore::{
     explore_fifo, explore_pq, explore_qui, explore_set, ExploreCfg, ExploreReport, QueryMode,
 };
+pub use multi::{
+    decode_multi, explore_order_book, explore_pair, explore_queue_set, explore_table_transfer,
+    ComposedVariant, MOp, MRet, MultiHistory, MultiReport, MultiVerdict, MultiViolation,
+    MultiWitness, PairHarness, PairSpec, TransferSpec,
+};
 pub use record::{decode, RecordedFifo, RecordedPq, RecordedQui, RecordedSet};
 pub use spec::{FifoSpec, KeySpec, Op, PqSpec, QuiSpec, Ret, SeqSpec, SetSpec};
 pub use wgl::{
-    check, check_set_by_key, minimize, CheckOpts, HistOp, History, SpecKind, Verdict, Witness,
+    check, check_set_by_key, minimize, CheckOpts, GHistOp, GHistory, GVerdict, GWitness, HistOp,
+    History, SpecKind, Verdict, Witness,
 };

@@ -43,9 +43,29 @@ fn dec_opt(w: u64) -> Option<u64> {
     w.checked_sub(1)
 }
 
+/// Encode one typed operation as a wire record. The inverse of [`dec_op`];
+/// multi-object recorders ([`crate::multi`]) offset the code to tag which
+/// object of a pair the operation addressed.
+pub(crate) fn enc_op(op: Op, ret: Ret) -> (u16, u64, u64) {
+    match (op, ret) {
+        (Op::Insert(k), Ret::Bool(b)) => (OP_INSERT, k, b as u64),
+        (Op::Remove(k), Ret::Bool(b)) => (OP_REMOVE, k, b as u64),
+        (Op::Contains(k), Ret::Bool(b)) => (OP_CONTAINS, k, b as u64),
+        (Op::Enqueue(v), Ret::Unit) => (OP_ENQUEUE, v, 0),
+        (Op::Dequeue, Ret::Opt(v)) => (OP_DEQUEUE, 0, enc_opt(v)),
+        (Op::Push(v), Ret::Unit) => (OP_PUSH, v, 0),
+        (Op::PopMin, Ret::Opt(v)) => (OP_POP_MIN, 0, enc_opt(v)),
+        (Op::PeekMin, Ret::Opt(v)) => (OP_PEEK_MIN, 0, enc_opt(v)),
+        (Op::Arrive(v), Ret::Unit) => (OP_ARRIVE, v, 0),
+        (Op::Depart, Ret::Unit) => (OP_DEPART, 0, 0),
+        (Op::Query, Ret::Val(v)) => (OP_QUERY, 0, v),
+        (op, ret) => panic!("cannot encode {op:?} -> {ret:?}"),
+    }
+}
+
 /// Decode one wire record into a typed operation, or `None` for an
 /// unknown code.
-fn dec_op(code: u16, arg: u64, ret: u64) -> Option<(Op, Ret)> {
+pub(crate) fn dec_op(code: u16, arg: u64, ret: u64) -> Option<(Op, Ret)> {
     Some(match code {
         OP_INSERT => (Op::Insert(arg), Ret::Bool(ret != 0)),
         OP_REMOVE => (Op::Remove(arg), Ret::Bool(ret != 0)),
@@ -169,6 +189,9 @@ pub enum DecodeError {
     DroppedOps(u64),
     /// An operation code this decoder does not know.
     UnknownOp(u16),
+    /// A composed pair's first half was recorded without its second half
+    /// immediately following (multi-object histories only).
+    TornPair,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -181,6 +204,9 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "history incomplete: {n} op(s) dropped at capacity")
             }
             DecodeError::UnknownOp(c) => write!(f, "unknown op code {c}"),
+            DecodeError::TornPair => {
+                write!(f, "pair half recorded without its mate")
+            }
         }
     }
 }

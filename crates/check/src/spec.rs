@@ -63,8 +63,15 @@ pub enum Ret {
 ///
 /// `lane` is the index of the history thread applying the operation —
 /// only [`QuiSpec`] (whose state is per-thread) consults it.
+///
+/// The operation and return types are associated so multi-object specs
+/// ([`crate::multi::PairSpec`]) can introduce their own vocabularies while
+/// reusing the Wing–Gong search unchanged.
 pub trait SeqSpec: Clone {
-    fn apply(&mut self, lane: usize, op: Op) -> Ret;
+    type Op: Copy + std::fmt::Debug + PartialEq;
+    type Ret: Copy + std::fmt::Debug + PartialEq;
+
+    fn apply(&mut self, lane: usize, op: Self::Op) -> Self::Ret;
 
     /// A canonical 64-bit digest of the abstract state: equal states must
     /// hash equal (the checker memoizes on `(positions, state_hash)`).
@@ -101,6 +108,9 @@ impl SetSpec {
 }
 
 impl SeqSpec for SetSpec {
+    type Op = Op;
+    type Ret = Ret;
+
     fn apply(&mut self, _lane: usize, op: Op) -> Ret {
         match op {
             Op::Insert(k) => Ret::Bool(self.present.insert(k)),
@@ -129,6 +139,9 @@ impl KeySpec {
 }
 
 impl SeqSpec for KeySpec {
+    type Op = Op;
+    type Ret = Ret;
+
     fn apply(&mut self, _lane: usize, op: Op) -> Ret {
         match op {
             Op::Insert(_) => Ret::Bool(!std::mem::replace(&mut self.present, true)),
@@ -158,6 +171,9 @@ impl FifoSpec {
 }
 
 impl SeqSpec for FifoSpec {
+    type Op = Op;
+    type Ret = Ret;
+
     fn apply(&mut self, _lane: usize, op: Op) -> Ret {
         match op {
             Op::Enqueue(v) => {
@@ -196,6 +212,9 @@ impl PqSpec {
 }
 
 impl SeqSpec for PqSpec {
+    type Op = Op;
+    type Ret = Ret;
+
     fn apply(&mut self, _lane: usize, op: Op) -> Ret {
         match op {
             Op::Push(v) => {
@@ -244,6 +263,9 @@ impl QuiSpec {
 }
 
 impl SeqSpec for QuiSpec {
+    type Op = Op;
+    type Ret = Ret;
+
     fn apply(&mut self, lane: usize, op: Op) -> Ret {
         match op {
             Op::Arrive(v) => {

@@ -44,26 +44,43 @@
 use crate::spec::{Op, Ret, SeqSpec};
 use std::collections::HashSet;
 
-/// One operation in a checkable history.
+/// One operation in a checkable history, generic in the spec's operation
+/// and return types so multi-object histories ([`crate::multi`]) reuse the
+/// same search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct HistOp {
+pub struct GHistOp<O, R> {
     pub inv: u64,
     pub res: u64,
-    pub op: Op,
-    pub ret: Ret,
+    pub op: O,
+    pub ret: R,
 }
+
+/// The single-object history op every recorder produces.
+pub type HistOp = GHistOp<Op, Ret>;
 
 /// A complete history: per-thread operation sequences in program order.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct History {
-    pub lanes: Vec<Vec<HistOp>>,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GHistory<O, R> {
+    pub lanes: Vec<Vec<GHistOp<O, R>>>,
 }
 
-impl History {
+/// The single-object history every recorder produces.
+pub type History = GHistory<Op, Ret>;
+
+// Manual impl: `derive(Default)` would needlessly require `O: Default`.
+impl<O, R> Default for GHistory<O, R> {
+    fn default() -> Self {
+        GHistory { lanes: Vec::new() }
+    }
+}
+
+impl<O, R> GHistory<O, R> {
     pub fn ops(&self) -> usize {
         self.lanes.iter().map(|l| l.len()).sum()
     }
+}
 
+impl History {
     /// The projection onto one set key (P-compositionality); lanes keep
     /// their identities, empty lanes are retained.
     pub fn project_key(&self, key: u64) -> History {
@@ -133,15 +150,18 @@ impl Default for CheckOpts {
 /// A non-linearizability certificate: the offending history (possibly
 /// minimized) plus the longest spec-consistent prefix the search reached.
 #[derive(Clone, Debug)]
-pub struct Witness {
+pub struct GWitness<O, R> {
     /// The history that fails to linearize.
-    pub history: History,
+    pub history: GHistory<O, R>,
     /// Operations (lane, op) of the deepest linearizable prefix found —
     /// everything the checker *could* explain before getting stuck.
-    pub best_prefix: Vec<(usize, HistOp)>,
+    pub best_prefix: Vec<(usize, GHistOp<O, R>)>,
 }
 
-impl Witness {
+/// The single-object witness.
+pub type Witness = GWitness<Op, Ret>;
+
+impl<O: std::fmt::Debug, R: std::fmt::Debug> GWitness<O, R> {
     /// Render the witness for humans: one line per operation, program
     /// order per lane, with the stuck frontier called out.
     pub fn render(&self) -> String {
@@ -174,27 +194,33 @@ impl Witness {
 
 /// The checker's answer.
 #[derive(Clone, Debug)]
-pub enum Verdict {
+pub enum GVerdict<O, R> {
     Linearizable,
-    NonLinearizable(Witness),
+    NonLinearizable(GWitness<O, R>),
     /// Node budget exceeded before a verdict; says nothing either way.
     Exhausted { explored: u64 },
 }
 
-impl Verdict {
+/// The single-object verdict.
+pub type Verdict = GVerdict<Op, Ret>;
+
+impl<O, R> GVerdict<O, R> {
     pub fn is_linearizable(&self) -> bool {
-        matches!(self, Verdict::Linearizable)
+        matches!(self, GVerdict::Linearizable)
     }
 }
 
+/// A frontier/order entry: one lane-tagged operation.
+type LaneOp<S> = (usize, GHistOp<<S as SeqSpec>::Op, <S as SeqSpec>::Ret>);
+
 struct Search<'h, S: SeqSpec> {
-    lanes: &'h [Vec<HistOp>],
+    lanes: &'h [Vec<GHistOp<S::Op, S::Ret>>],
     margin: u64,
     max_nodes: u64,
     explored: u64,
     memo: HashSet<(Vec<u32>, u64)>,
-    order: Vec<(usize, HistOp)>,
-    best: Vec<(usize, HistOp)>,
+    order: Vec<LaneOp<S>>,
+    best: Vec<LaneOp<S>>,
     _spec: std::marker::PhantomData<S>,
 }
 
@@ -219,7 +245,7 @@ impl<S: SeqSpec> Search<'_, S> {
         }
 
         // Frontier: each lane's next operation, if any.
-        let frontier: Vec<(usize, HistOp)> = self
+        let frontier: Vec<LaneOp<S>> = self
             .lanes
             .iter()
             .enumerate()
@@ -229,7 +255,7 @@ impl<S: SeqSpec> Search<'_, S> {
         // Candidates: minimal elements of the real-time partial order
         // among frontier ops, tried in invocation order (the near-linear
         // fast path takes the earliest op first).
-        let mut candidates: Vec<(usize, HistOp)> = frontier
+        let mut candidates: Vec<LaneOp<S>> = frontier
             .iter()
             .filter(|&&(l, ref o)| {
                 !frontier
@@ -263,7 +289,11 @@ impl<S: SeqSpec> Search<'_, S> {
 }
 
 /// Check one history against a spec's initial state.
-pub fn check<S: SeqSpec>(history: &History, initial: S, opts: CheckOpts) -> Verdict {
+pub fn check<S: SeqSpec>(
+    history: &GHistory<S::Op, S::Ret>,
+    initial: S,
+    opts: CheckOpts,
+) -> GVerdict<S::Op, S::Ret> {
     let mut search = Search::<S> {
         lanes: &history.lanes,
         margin: opts.margin,
@@ -276,12 +306,12 @@ pub fn check<S: SeqSpec>(history: &History, initial: S, opts: CheckOpts) -> Verd
     };
     let mut pos = vec![0u32; history.lanes.len()];
     match search.run(&mut pos, &initial) {
-        Found::Yes => Verdict::Linearizable,
-        Found::No => Verdict::NonLinearizable(Witness {
+        Found::Yes => GVerdict::Linearizable,
+        Found::No => GVerdict::NonLinearizable(GWitness {
             history: history.clone(),
             best_prefix: search.best,
         }),
-        Found::OutOfBudget => Verdict::Exhausted {
+        Found::OutOfBudget => GVerdict::Exhausted {
             explored: search.explored,
         },
     }

@@ -173,7 +173,10 @@ impl<S> FlatCombining<S> {
             if slot.req.load(Ordering::Acquire) & PENDING == 0 {
                 return slot.resp.load(Ordering::Acquire);
             }
-            charge(CostKind::SpinIter);
+            // Waiting for the combiner lane to service the slot:
+            // gate-aware wait (charged for its virtual duration, not per
+            // physical poll).
+            pto_sim::spin_wait_tick();
             std::hint::spin_loop();
         }
     }

@@ -18,6 +18,9 @@
 //!
 //! * [`policy`] — [`PtoPolicy`] (retry budget, fence mode, capacities),
 //!   the [`pto`]/[`pto2`] executors, and per-structure [`PtoStats`];
+//! * [`compose`] — atomic operations *across* structures: one prefix
+//!   transaction spanning two objects, with an ordered-lock fallback
+//!   ([`Anchor`]) so the demoted path composes without deadlock;
 //! * [`kcas`] — software DCSS and DCAS (Harris-style, with helping) plus
 //!   their PTO-accelerated fronts: the paper's "apply PTO locally to the
 //!   DCAS/DCSS sub-operations" granularity (§3.1, Mound);
@@ -26,6 +29,7 @@
 //! * [`traits`] — the abstract object interfaces the benchmarks drive
 //!   (set, priority queue, quiescence/Mindicator).
 
+pub mod compose;
 pub mod fc;
 pub mod kcas;
 pub mod policy;
@@ -33,6 +37,9 @@ pub mod profile;
 pub mod tle;
 pub mod traits;
 
+pub use compose::{
+    acquire_ordered, compose, compose_adaptive, Anchor, AnchorGuard, ComposeMode, Composed,
+};
 pub use policy::{
     pto, pto2, pto2_adaptive, pto_adaptive, AdaptivePolicy, Backoff, PtoPolicy, PtoStats, Regime,
 };

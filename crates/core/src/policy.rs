@@ -209,7 +209,7 @@ pub fn pto<'e, T>(
 /// [`pto2`]'s two nesting levels charge the composed call site rather than
 /// this file. Profiler reads of the virtual clock happen only when a
 /// [`profile::ProfileSession`] is armed and never charge time themselves.
-fn pto_at<'e, T>(
+pub(crate) fn pto_at<'e, T>(
     site: profile::Site,
     policy: &PtoPolicy,
     stats: &PtoStats,
@@ -662,7 +662,7 @@ pub fn pto2_adaptive<'e, T>(
     })
 }
 
-fn pto_adaptive_at<'e, T>(
+pub(crate) fn pto_adaptive_at<'e, T>(
     site: profile::Site,
     level: u8,
     ap: &AdaptivePolicy,
@@ -1282,11 +1282,15 @@ mod tests {
         let site = crate::profile::caller_site();
         {
             let _g = pto_htm::try_acquire_orec(w.orec_index(), 8).expect("uncontended");
-            for _ in 0..4 {
+            // Exactly `middle_streak` warm-up ops: the streak reaches the
+            // arming threshold without any op *running* armed — an armed op
+            // here would take the middle path against the held guard, time
+            // out, and (by design) zero the streak it just built.
+            for _ in 0..2 {
                 pto_adaptive_at(site, 0, &ap, &stats, |tx| tx.read(&w), || 0u64);
             }
         }
-        assert_eq!(stats.fallback.get(), 4, "armed via guard-held conflicts");
+        assert_eq!(stats.fallback.get(), 2, "armed via guard-held conflicts");
         // With the middle path armed the grant clamps HTM attempts to one,
         // so per op the prefix runs at most twice: invocation 1 is the HTM
         // attempt (we doom it), invocation 2 is the owned-orec re-run.

@@ -27,6 +27,7 @@
 //! generations live in an append-only registry so readers never lock.
 
 use pto_sim::sync::Mutex;
+use pto_core::compose::Anchor;
 use pto_core::policy::{pto, PtoPolicy, PtoStats};
 use pto_core::ConcurrentSet;
 use pto_htm::{TxResult, TxWord, Txn};
@@ -145,6 +146,7 @@ pub struct FSetHashTable {
     variant: HashVariant,
     policy: PtoPolicy,
     pub stats: PtoStats,
+    anchor: Anchor,
 }
 
 impl FSetHashTable {
@@ -166,6 +168,7 @@ impl FSetHashTable {
             variant,
             policy,
             stats: PtoStats::new(),
+            anchor: Anchor::new(),
         };
         // Generation 0: all buckets empty (NIL array, count 0).
         let g0: Box<[TxWord]> = (0..init_buckets)
@@ -678,6 +681,38 @@ impl FSetHashTable {
                     Attempt::Retry => {}
                 }
             },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compose surface (pto_core::compose)
+    // ------------------------------------------------------------------
+
+    /// This table's participation anchor for composed operations.
+    pub fn anchor(&self) -> &Anchor {
+        &self.anchor
+    }
+
+    /// Transactional membership half for a composed prefix.
+    #[doc(hidden)]
+    pub fn tx_compose_contains<'e>(&'e self, tx: &mut Txn<'e>, key: u64) -> TxResult<bool> {
+        self.tx_lookup(tx, check_key(key))
+    }
+
+    /// Transactional update half for a composed prefix: insert (`add`) or
+    /// remove `key`, returning whether the set changed. Only the
+    /// [`HashVariant::PtoInplace`] layout can mutate in-tx; every state the
+    /// prefix cannot handle (other variants, empty bucket, bucket at
+    /// capacity) aborts so the composed fallback — the ordinary
+    /// [`ConcurrentSet`] ops under the anchors — takes over.
+    #[doc(hidden)]
+    pub fn tx_compose_update<'e>(&'e self, tx: &mut Txn<'e>, key: u64, add: bool) -> TxResult<bool> {
+        if self.variant != HashVariant::PtoInplace {
+            return Err(tx.abort(pto_core::ABORT_HELP));
+        }
+        match self.tx_update_inplace(tx, check_key(key), add)? {
+            Attempt::Done(r) => Ok(r),
+            Attempt::Full | Attempt::Retry => Err(tx.abort(pto_core::ABORT_HELP)),
         }
     }
 

@@ -47,6 +47,19 @@ impl TxWord {
         self.read_consistent()
     }
 
+    /// Uncharged **racy** read: the bare cell, with no orec handshake. A
+    /// concurrent commit write-back may be mid-flight, so the value can be
+    /// transiently stale or about-to-change — fit only for heuristic
+    /// test-then-act spin loops (e.g. "does this lock *look* free?") that
+    /// confirm with a real CAS afterwards. Unlike [`TxWord::peek`], it can
+    /// never spin, and unlike [`TxWord::cas`], it never locks the word's
+    /// orec — which is what makes it safe to call in a tight wait loop
+    /// without starving the holder's release.
+    #[inline]
+    pub fn peek_racy(&self) -> u64 {
+        self.cell.load(Ordering::Acquire)
+    }
+
     /// Index of the ownership record this word hashes to — the granule
     /// identity used by conflict diagnostics and the middle path
     /// ([`crate::try_acquire_orec`]). Uncharged.
@@ -87,7 +100,10 @@ impl TxWord {
         loop {
             let v1 = o.load(Ordering::Acquire);
             if orec::is_locked(v1) {
-                charge(CostKind::SpinIter);
+                // Waiting on another lane's commit write-back: gate-aware
+                // wait (a wait costs its virtual duration, not one charge
+                // per physical poll — see `pto_sim::spin_wait_tick`).
+                pto_sim::spin_wait_tick();
                 std::hint::spin_loop();
                 continue;
             }
@@ -118,7 +134,9 @@ impl TxWord {
             {
                 return cur;
             }
-            charge(CostKind::SpinIter);
+            // Gate-aware wait on the current holder (commit write-back or
+            // another non-transactional update).
+            pto_sim::spin_wait_tick();
             std::hint::spin_loop();
         }
     }

@@ -27,6 +27,7 @@
 //! Node words pack `(list-head index, dirty, counter)` into ≤ 62 bits
 //! (kcas-managed words reserve the top two bits for descriptor tags).
 
+use pto_core::compose::Anchor;
 use pto_core::kcas::{self, DcssResult, Heap};
 use pto_core::policy::{pto, PtoPolicy, PtoStats};
 use pto_core::PriorityQueue;
@@ -122,6 +123,7 @@ pub struct Mound {
     depth: TxWord,
     max_depth: u32,
     prims: Prims,
+    anchor: Anchor,
 }
 
 impl Heap for Mound {
@@ -140,6 +142,7 @@ impl Mound {
             depth: TxWord::new(3),
             max_depth,
             prims,
+            anchor: Anchor::new(),
         }
     }
 
@@ -485,6 +488,101 @@ impl Mound {
                 Some(v as u64)
             }
             None => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compose surface (pto_core::compose)
+    // ------------------------------------------------------------------
+
+    /// This mound's participation anchor for composed operations.
+    pub fn anchor(&self) -> &Anchor {
+        &self.anchor
+    }
+
+    /// Transactional pop half for a composed prefix: [`tx_pop_whole`]
+    /// (value plus the popped list cell). Pass the cell to
+    /// [`compose_retire_cell`] **after** the composed transaction commits.
+    ///
+    /// [`tx_pop_whole`]: Mound::pop_min_whole
+    /// [`compose_retire_cell`]: Mound::compose_retire_cell
+    #[doc(hidden)]
+    pub fn tx_compose_pop<'e>(
+        &'e self,
+        tx: &mut pto_htm::Txn<'e>,
+    ) -> pto_htm::TxResult<Option<(u32, u32)>> {
+        self.tx_pop_whole(tx)
+    }
+
+    /// Retire the list cell popped by a committed [`Mound::tx_compose_pop`].
+    #[doc(hidden)]
+    pub fn compose_retire_cell(&self, li: u32) {
+        self.lnodes.retire(li);
+    }
+
+    /// Allocate a private list cell for [`Mound::tx_compose_push`] outside
+    /// the prefix loop (pool traffic is not transactional). Unused cells go
+    /// back via [`Mound::compose_release_cell`].
+    #[doc(hidden)]
+    pub fn compose_alloc_cell(&self) -> u32 {
+        self.lnodes.alloc()
+    }
+
+    /// Return a never-published cell from [`Mound::compose_alloc_cell`].
+    #[doc(hidden)]
+    pub fn compose_release_cell(&self, ln: u32) {
+        self.lnodes.free_now(ln);
+    }
+
+    /// Transactional push half for a composed prefix. Unlike [`insert`],
+    /// which draws a random leaf and binary-searches the path, this walks
+    /// deterministically from the root to the first node with `val ≥ v`
+    /// (descending by `v`'s bits), prepending `v` there — the walk
+    /// invariant (every ancestor has `val < v`) preserves the mound
+    /// property. Any state the prefix cannot handle — a kcas descriptor,
+    /// a dirty node, or running out of tree — aborts so the composed
+    /// fallback ([`PriorityQueue::push`] under the anchors) takes over.
+    /// The cell's fields are written transactionally, so an aborted
+    /// attempt leaves `ln` private and reusable.
+    ///
+    /// [`insert`]: PriorityQueue::push
+    #[doc(hidden)]
+    pub fn tx_compose_push<'e>(
+        &'e self,
+        tx: &mut pto_htm::Txn<'e>,
+        v: u32,
+        ln: u32,
+    ) -> pto_htm::TxResult<()> {
+        assert!(v < INF, "Mound keys must be < 2^32 - 1");
+        let mut n = 1usize;
+        let mut level = 0u32;
+        loop {
+            let c = tx.read(&self.tree[n])?;
+            if kcas::is_ref(c) || is_dirty(c) {
+                return Err(tx.abort(pto_core::ABORT_HELP));
+            }
+            let li = list_of(c);
+            let val = if li == NIL {
+                INF
+            } else {
+                tx.read(&self.lnodes.get(li).value)? as u32
+            };
+            if val >= v {
+                let cell = self.lnodes.get(ln);
+                tx.write(&cell.value, v as u64)?;
+                tx.write(&cell.next, li as u64)?;
+                tx.write(&self.tree[n], pack(ln, false, cnt_of(c) + 1))?;
+                tx.fence();
+                return Ok(());
+            }
+            let left = 2 * n;
+            if left + 1 >= self.tree.len() {
+                // Every node on the walk holds val < v: the fallback's
+                // probe-and-grow logic handles a saturated path.
+                return Err(tx.abort(pto_core::ABORT_HELP));
+            }
+            n = left + ((v >> (level & 31)) & 1) as usize;
+            level += 1;
         }
     }
 

@@ -19,6 +19,7 @@
 //! MS queue's separate tail-swing CAS into the same transaction. On abort,
 //! the untouched baseline runs — lock-freedom is preserved.
 
+use pto_core::compose::Anchor;
 use pto_core::policy::{pto, PtoPolicy, PtoStats};
 use pto_core::traits::FifoQueue;
 use pto_htm::{TxResult, TxWord, Txn};
@@ -53,6 +54,7 @@ pub struct MsQueue {
     head: TxWord,
     tail: TxWord,
     mode: Mode,
+    anchor: Anchor,
 }
 
 impl MsQueue {
@@ -67,6 +69,7 @@ impl MsQueue {
             nodes,
             hp: HazardDomain::new(),
             mode,
+            anchor: Anchor::new(),
         }
     }
 
@@ -253,6 +256,84 @@ impl FifoQueue for MsQueue {
                 }
             }
         }
+    }
+}
+
+/// Compose surface ([`pto_core::compose`]): transactional halves and
+/// anchored-fallback halves for cross-structure operations. These are the
+/// building blocks a `Composed` site assembles; they are not meant for
+/// direct standalone use (hence `doc(hidden)`), because on their own they
+/// provide neither retries nor the anchor protocol.
+impl MsQueue {
+    /// This queue's participation anchor for composed operations.
+    pub fn anchor(&self) -> &Anchor {
+        &self.anchor
+    }
+
+    /// Allocate and initialize a node outside the prefix loop (allocation
+    /// is not transactional; the node is private until linked).
+    #[doc(hidden)]
+    pub fn compose_alloc(&self, value: u64) -> u32 {
+        let node = self.nodes.alloc();
+        self.nodes.get(node).value.init(value);
+        self.nodes.get(node).next.init(NIL as u64);
+        node
+    }
+
+    /// Return an allocated-but-never-linked node to the pool (e.g. the
+    /// composed op decided not to enqueue).
+    #[doc(hidden)]
+    pub fn compose_release(&self, node: u32) {
+        self.nodes.free_now(node);
+    }
+
+    /// Transactional enqueue half over a node from [`compose_alloc`].
+    #[doc(hidden)]
+    pub fn tx_enqueue_node<'e>(&'e self, tx: &mut Txn<'e>, node: u32) -> TxResult<()> {
+        self.tx_enqueue(tx, node)
+    }
+
+    /// A racy glimpse of the value a dequeue would currently return, or
+    /// `None` when the queue looks empty. **Not linearizable** — composed
+    /// pop-and-insert uses it to pre-build the insert half outside the
+    /// prefix, and the prefix re-validates by comparing the transactional
+    /// dequeue's value against the guess (aborting on mismatch).
+    #[doc(hidden)]
+    pub fn compose_peek(&self) -> Option<u64> {
+        let dummy = self.head.load(Ordering::Acquire) as u32;
+        let next = self.next_of(dummy).load(Ordering::Acquire) as u32;
+        if next == NIL {
+            None
+        } else {
+            Some(self.nodes.get(next).value.load(Ordering::Acquire))
+        }
+    }
+
+    /// Transactional dequeue half; `Some((value, dummy))` on success. The
+    /// caller must pass `dummy` to [`compose_retire`] **after** the
+    /// composed transaction commits.
+    #[doc(hidden)]
+    pub fn tx_dequeue_raw<'e>(&'e self, tx: &mut Txn<'e>) -> TxResult<Option<(u64, u32)>> {
+        self.tx_dequeue(tx)
+    }
+
+    /// Retire the dummy displaced by a committed [`tx_dequeue_raw`].
+    #[doc(hidden)]
+    pub fn compose_retire(&self, dummy: u32) {
+        self.hp.retire(&self.nodes, dummy);
+    }
+
+    /// Fallback enqueue half (the lock-free baseline; runs under the
+    /// composed op's anchors).
+    #[doc(hidden)]
+    pub fn fallback_enqueue(&self, node: u32) {
+        self.lf_enqueue(node);
+    }
+
+    /// Fallback dequeue half (retires its own dummy).
+    #[doc(hidden)]
+    pub fn fallback_dequeue(&self) -> Option<u64> {
+        self.lf_dequeue()
     }
 }
 

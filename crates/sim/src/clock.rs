@@ -47,6 +47,9 @@ struct ThreadCtx {
     /// First element of the lane's cost table — null means "use the
     /// default Haswell const fn". Tables are `'static`, so no keep-alive.
     table: Cell<*const u64>,
+    /// Consecutive uncharged [`spin_wait_tick`] polls since the last
+    /// charged one; paces the exact-scan backstop inside wait loops.
+    wait_polls: Cell<u32>,
 }
 
 thread_local! {
@@ -58,6 +61,7 @@ thread_local! {
             gate: Cell::new(std::ptr::null()),
             gate_keep: RefCell::new(None),
             table: Cell::new(std::ptr::null()),
+            wait_polls: Cell::new(0),
         }
     };
 }
@@ -126,6 +130,66 @@ fn gate_cross(ctx: &ThreadCtx, now: u64) {
     let gate = unsafe { &*g };
     ctx.next_sync.set(now.saturating_add(gate.quantum()));
     gate.sync(ctx.lane.get(), now);
+}
+
+/// One iteration of a physical spin-wait on a resource another lane holds
+/// — a composed-fallback anchor, an orec locked mid-commit, an empty work
+/// queue a producer lane has yet to fill.
+///
+/// The virtual-time rule: **a wait costs the virtual duration of the
+/// wait, not one charge per time the OS scheduled the poll loop.** A
+/// waiter that charged a `SpinIter` on every physical iteration (the
+/// pre-PR 10 behavior) leaks wallclock scheduling into virtual time: the
+/// same seed produces different makespans run to run, and two lanes
+/// waiting on each other ratchet both clocks upward by a quantum per gate
+/// park, inflating a 100-op contended run into *billions* of virtual
+/// cycles. Instead, the tick charges a `SpinIter` only while this lane
+/// sits at the gate's published minimum — the minimum lane must keep
+/// virtual time flowing, or a holder parked ahead of it would never be
+/// released to finish its critical section — and otherwise publishes its
+/// clock and yields uncharged, letting the stragglers run. The total
+/// charged this way is bounded by (clock gap to the holder) + (the
+/// holder's remaining critical section), which is exactly what an
+/// 8-thread machine's spinner would burn in that window.
+///
+/// Every 64th uncharged poll runs the gate's exact-min backstop: the
+/// cheap root bound is a conservative (stale-low) estimate, and a waiter
+/// that trusted a stale bound while actually *being* the minimum would
+/// freeze virtual time for the whole machine.
+///
+/// Threads not attached to a gate charge a plain `SpinIter` per call —
+/// with no peers or gate, the per-iteration model is the only cost
+/// available, and unit tests assert against it.
+pub fn spin_wait_tick() {
+    let must_charge = CTX.with(|ctx| {
+        let g = ctx.gate.get();
+        if g.is_null() {
+            return true;
+        }
+        // SAFETY: see `gate_cross`.
+        let gate = unsafe { &*g };
+        let now = ctx.clock.get();
+        // Publish first (parking if this waiter is itself too far
+        // ahead): an unpublished quantum of charges could leave this
+        // lane pinned as everyone else's stale minimum.
+        gate.sync(ctx.lane.get(), now);
+        if now <= gate.root_bound() {
+            ctx.wait_polls.set(0);
+            return true;
+        }
+        let polls = ctx.wait_polls.get().wrapping_add(1);
+        ctx.wait_polls.set(polls);
+        if polls.is_multiple_of(64) && now <= gate.exact_min_and_publish() {
+            ctx.wait_polls.set(0);
+            return true;
+        }
+        false
+    });
+    if must_charge {
+        charge(CostKind::SpinIter);
+    } else {
+        std::thread::yield_now();
+    }
 }
 
 /// The current thread's virtual clock, in cycles.

@@ -69,7 +69,7 @@ pub mod stats;
 pub mod sync;
 pub mod trace;
 
-pub use clock::{charge, charge_cycles, charge_n, now};
+pub use clock::{charge, charge_cycles, charge_n, now, spin_wait_tick};
 pub use cost::{CostKind, CostProfile};
 pub use sched::{Sim, SimOutcome};
 

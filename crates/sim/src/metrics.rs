@@ -44,7 +44,7 @@ use std::sync::{Arc, OnceLock};
 pub const DEFAULT_CAPACITY: usize = 1 << 14;
 
 /// Number of [`Series`] variants (array-index domain).
-pub const N_SERIES: usize = 17;
+pub const N_SERIES: usize = 19;
 
 /// One tracked metric. `Cumulative` series sample a per-track running
 /// total on every emit (the emitted value is the increment); `Gauge`
@@ -90,6 +90,10 @@ pub enum Series {
     /// Adaptive-regime transitions (a call site flipping between
     /// healthy/conflict/capacity/spurious handling).
     PolicyAdaptFlips = 16,
+    /// Composed cross-structure operations started (each `Composed::run`).
+    PolicyComposeEntries = 17,
+    /// Composed operations that demoted to the ordered-lock fallback.
+    PolicyComposeFallbacks = 18,
 }
 
 /// Every series, in index order.
@@ -111,6 +115,8 @@ pub const ALL_SERIES: [Series; N_SERIES] = [
     Series::PolicySiteBudget,
     Series::PolicyMiddleEntries,
     Series::PolicyAdaptFlips,
+    Series::PolicyComposeEntries,
+    Series::PolicyComposeFallbacks,
 ];
 
 impl Series {
@@ -134,6 +140,8 @@ impl Series {
             Series::PolicySiteBudget => "policy.site_budget",
             Series::PolicyMiddleEntries => "policy.middle_entries",
             Series::PolicyAdaptFlips => "policy.adapt_flips",
+            Series::PolicyComposeEntries => "policy.compose_entries",
+            Series::PolicyComposeFallbacks => "policy.compose_fallbacks",
         }
     }
 
@@ -152,6 +160,8 @@ impl Series {
                 | Series::CombineServiced
                 | Series::PolicyMiddleEntries
                 | Series::PolicyAdaptFlips
+                | Series::PolicyComposeEntries
+                | Series::PolicyComposeFallbacks
         )
     }
 

@@ -169,7 +169,7 @@ impl Gate {
 
     /// Current root bound: conservative, monotone `≤ min_clock()`.
     #[inline]
-    fn root_bound(&self) -> u64 {
+    pub(crate) fn root_bound(&self) -> u64 {
         if self.width == 1 {
             self.leaf(0)
         } else {
@@ -204,7 +204,7 @@ impl Gate {
     /// The conservativeness debug assertion reads the root *before* the
     /// scan: root-at-read ≤ true-min-at-read ≤ scanned min (the true min
     /// only rises). Reading it after would race with concurrent climbs.
-    fn exact_min_and_publish(&self) -> u64 {
+    pub(crate) fn exact_min_and_publish(&self) -> u64 {
         let bound_before = self.root_bound();
         let m = self.min_clock();
         debug_assert!(

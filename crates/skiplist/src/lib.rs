@@ -28,6 +28,7 @@
 //! packs `(node index << 1) | marked`. Keys are shifted by +1 so the head
 //! sentinel sorts below every key; the tail sentinel is `u32::MAX`.
 
+use pto_core::compose::Anchor;
 use pto_core::policy::{pto, pto_adaptive, AdaptivePolicy, PtoPolicy, PtoStats};
 use pto_core::{ConcurrentSet, PriorityQueue};
 use pto_htm::{TxResult, TxWord};
@@ -107,6 +108,7 @@ enum Mode {
 struct SkipList {
     nodes: Pool<SkipNode>,
     mode: Mode,
+    anchor: Anchor,
 }
 
 struct FindResult {
@@ -131,7 +133,11 @@ impl SkipList {
         let tail = nodes.get(TAIL);
         tail.key.init(KEY_TAIL as u64);
         tail.height.init(MAX_LEVEL as u64);
-        SkipList { nodes, mode }
+        SkipList {
+            nodes,
+            mode,
+            anchor: Anchor::new(),
+        }
     }
 
     #[inline]
@@ -624,6 +630,102 @@ impl SkipListSet {
     pub fn check_towers(&self) -> Result<(), String> {
         self.list.check_towers()
     }
+
+    // ------------------------------------------------------------------
+    // Compose surface (pto_core::compose)
+    // ------------------------------------------------------------------
+
+    /// This set's participation anchor for composed operations.
+    pub fn anchor(&self) -> &Anchor {
+        &self.list.anchor
+    }
+
+    /// Search for `key` and allocate a private tower, producing a
+    /// [`ComposeInsert`] handle for [`SkipListSet::tx_compose_insert`].
+    /// Call *outside* the prefix loop (allocation and the search are not
+    /// transactional) while holding an epoch guard that stays pinned until
+    /// [`SkipListSet::compose_insert_finish`] runs — the handle's
+    /// predecessor/successor snapshot must not be reclaimed under it.
+    #[doc(hidden)]
+    pub fn compose_insert_begin(&self, key: u64, g: &Guard) -> ComposeInsert {
+        let k = to_stored(key);
+        let f = self.list.find(k, g);
+        let height = self.list.random_height();
+        let node = self.list.make_node(k, height, &f.succs);
+        ComposeInsert {
+            node,
+            key: k,
+            height,
+            preds: f.preds,
+            succs: f.succs,
+        }
+    }
+
+    /// Transactional set-insert half for a composed prefix: validate the
+    /// handle's neighborhood in-tx, then either link the private tower
+    /// (`Ok(true)`), observe the key already present (`Ok(false)` — a
+    /// committed no-op half, decided transactionally), or abort because
+    /// the snapshot went stale, handing the composed fallback
+    /// ([`ConcurrentSet::insert`] under the anchors) the retry.
+    #[doc(hidden)]
+    pub fn tx_compose_insert<'e>(
+        &'e self,
+        tx: &mut pto_htm::Txn<'e>,
+        ins: &ComposeInsert,
+    ) -> TxResult<bool> {
+        for lvl in 0..ins.height {
+            let link = tx.read(self.list.next(ins.preds[lvl], lvl))?;
+            if link != mk(ins.succs[lvl], false) {
+                return Err(tx.abort(pto_core::ABORT_HELP));
+            }
+        }
+        // The level-0 successor is still the linked neighbor (validated
+        // above), so its key decides presence — read in-tx to guard
+        // against recycling races.
+        let sk = tx.read(&self.list.nodes.get(ins.succs[0]).key)? as u32;
+        if sk == ins.key {
+            if marked(tx.read(self.list.next(ins.succs[0], 0))?) {
+                // Mid-removal duplicate: neither "present" nor insertable
+                // here; let the fallback re-search.
+                return Err(tx.abort(pto_core::ABORT_HELP));
+            }
+            return Ok(false);
+        }
+        for lvl in 0..ins.height {
+            tx.write(self.list.next(ins.preds[lvl], lvl), mk(ins.node, false))?;
+            tx.fence();
+        }
+        Ok(true)
+    }
+
+    /// Close out a [`ComposeInsert`]: `published` is whether a committed
+    /// prefix linked the tower (an unpublished tower is returned to the
+    /// pool for immediate reuse).
+    #[doc(hidden)]
+    pub fn compose_insert_finish(&self, ins: ComposeInsert, published: bool) {
+        if !published {
+            self.list.nodes.free_now(ins.node);
+        }
+    }
+}
+
+/// A pending composed skiplist insert: the private tower plus the search
+/// snapshot it will be validated against. See
+/// [`SkipListSet::compose_insert_begin`].
+pub struct ComposeInsert {
+    node: u32,
+    key: u32,
+    height: usize,
+    preds: [u32; MAX_LEVEL],
+    succs: [u32; MAX_LEVEL],
+}
+
+impl ComposeInsert {
+    /// The (caller-domain) key this handle would insert, so a composed
+    /// prefix can check the handle against a value it discovered in-tx.
+    pub fn key(&self) -> u64 {
+        self.key as u64 - 1
+    }
 }
 
 impl ConcurrentSet for SkipListSet {
@@ -691,6 +793,11 @@ impl SkipQueue {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// This queue's participation anchor for composed operations.
+    pub fn anchor(&self) -> &Anchor {
+        &self.list.anchor
     }
 }
 

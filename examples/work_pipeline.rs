@@ -48,7 +48,9 @@ fn run(mk: fn() -> MsQueue) -> f64 {
                             break;
                         }
                         std::hint::spin_loop();
-                        pto::sim::charge(pto::sim::CostKind::SpinIter);
+                        // Idle stage waiting on upstream lanes: gate-aware
+                        // wait, charged for its virtual duration.
+                        pto::sim::spin_wait_tick();
                     }
                 }
             }

@@ -22,9 +22,11 @@
 //! paste the printed block.
 
 use pto_bst::{Bst, BstVariant};
+use pto_core::compose::{ComposeMode, Composed};
 use pto_core::policy::{pto, pto_adaptive, AdaptivePolicy, PtoPolicy, PtoStats};
 use pto_core::traits::FifoQueue;
 use pto_core::{ConcurrentSet, Quiescence};
+use pto_hashtable::{FSetHashTable, HashVariant};
 use pto_htm::TxWord;
 use pto_list::{HarrisList, ListVariant};
 use pto_mindicator::{LockFreeMindicator, PtoMindicator};
@@ -299,6 +301,138 @@ fn middle_path_word() -> u64 {
     out.makespan
 }
 
+/// Deterministic single-lane **composed** workload, transfer-heavy: two
+/// in-place hash tables with 64 tokens, 70% conditional transfers / 30%
+/// conservation audits through one two-participant [`Composed`] site.
+/// One lane means the prefix never conflicts; the only aborts are the
+/// deterministic help-aborts on first-touch NIL buckets, so the makespan
+/// pins the composed-prefix cost (anchor reads included) and the
+/// prefix/fallback split bit-exactly.
+fn composed_transfer_heavy() -> u64 {
+    let a = FSetHashTable::new(HashVariant::PtoInplace, 64);
+    let b = FSetHashTable::new(HashVariant::PtoInplace, 64);
+    for t in 0..64 {
+        a.insert(t);
+    }
+    pto_sim::clock::reset();
+    let out = Sim::new(1).run(|_| {
+        let site = Composed::new(
+            vec![a.anchor(), b.anchor()],
+            ComposeMode::Static(PtoPolicy::with_attempts(3)),
+        );
+        let mut rng = XorShift64::new(43);
+        for _ in 0..300 {
+            let token = rng.below(64);
+            if rng.chance(7, 10) {
+                let (src, dst) = if rng.chance(1, 2) { (&b, &a) } else { (&a, &b) };
+                let moved = site.run(
+                    |tx| {
+                        let moved = src.tx_compose_update(tx, token, false)?;
+                        if moved {
+                            dst.tx_compose_update(tx, token, true)?;
+                        }
+                        Ok(moved)
+                    },
+                    || {
+                        let moved = src.remove(token);
+                        if moved {
+                            dst.insert(token);
+                        }
+                        moved
+                    },
+                );
+                std::hint::black_box(moved);
+            } else {
+                let (in_a, in_b) = site.run(
+                    |tx| Ok((a.tx_compose_contains(tx, token)?, b.tx_compose_contains(tx, token)?)),
+                    || (a.contains(token), b.contains(token)),
+                );
+                assert!(in_a != in_b, "audit saw a token in both banks or neither");
+            }
+        }
+        // First-touch inserts into NIL buckets help-abort to the ordered-lock
+        // fallback (deterministic explicit aborts); the bulk of the stream
+        // must still ride the prefix. The golden's `explicit` column pins the
+        // exact split.
+        assert!(
+            site.stats.fast.get() > site.stats.fallback.get(),
+            "composed transfer stream mostly left the prefix ({} fast vs {} fallback)",
+            site.stats.fast.get(),
+            site.stats.fallback.get()
+        );
+    });
+    for t in 0..64 {
+        assert!(a.contains(t) != b.contains(t), "token {t} not conserved");
+    }
+    out.makespan
+}
+
+/// Deterministic single-lane **composed** workload, mixed pop+insert: an
+/// MS-queue feeding an in-place hash table. Enqueues go through the
+/// composed site as single-structure prefixes; dequeues atomically move
+/// the head value into the table. (MS-queue + hashtable, not skiplist or
+/// mound, per the determinism rules — no per-thread RNG in either.)
+fn composed_pop_insert() -> u64 {
+    let q = MsQueue::new_pto();
+    let set = FSetHashTable::new(HashVariant::PtoInplace, 256);
+    for i in 0..64 {
+        q.enqueue(i);
+    }
+    pto_sim::clock::reset();
+    let out = Sim::new(1).run(|_| {
+        let site = Composed::new(
+            vec![q.anchor(), set.anchor()],
+            ComposeMode::Static(PtoPolicy::with_attempts(3)),
+        );
+        let mut rng = XorShift64::new(9);
+        let mut next = 64u64;
+        let mut popped = 0usize;
+        for _ in 0..300 {
+            if rng.chance(1, 2) {
+                let node = q.compose_alloc(next);
+                let via_prefix = site.run(
+                    |tx| {
+                        q.tx_enqueue_node(tx, node)?;
+                        Ok(true)
+                    },
+                    || {
+                        q.fallback_enqueue(node);
+                        false
+                    },
+                );
+                assert!(via_prefix, "single-lane enqueue must use the prefix");
+                next += 1;
+            } else {
+                let got = site.run(
+                    |tx| match q.tx_dequeue_raw(tx)? {
+                        None => Ok(None),
+                        Some((v, dummy)) => {
+                            let fresh = set.tx_compose_update(tx, v, true)?;
+                            Ok(Some((v, dummy, fresh)))
+                        }
+                    },
+                    || q.fallback_dequeue().map(|v| (v, u32::MAX, set.insert(v))),
+                );
+                if let Some((v, dummy, fresh)) = got {
+                    if dummy != u32::MAX {
+                        q.compose_retire(dummy);
+                    }
+                    assert!(fresh, "value {v} moved into the set twice");
+                    popped += 1;
+                }
+            }
+        }
+        assert!(
+            site.stats.fast.get() > site.stats.fallback.get(),
+            "composed pop+insert stream mostly left the prefix ({} fast vs {} fallback)",
+            site.stats.fast.get(),
+            site.stats.fallback.get()
+        );
+        assert_eq!(set.len(), popped, "pop+insert halves disagree");
+    });
+    out.makespan
+}
+
 const GOLDEN_PRIVATE_WORD_PTO: Golden = (24800, 400, 300, 0, 0, 100, 0, 0);
 const GOLDEN_LIST_PTO_WHOLE: Golden = (255681, 353, 353, 0, 0, 0, 0, 0);
 const GOLDEN_LIST_PTO_UPDATE: Golden = (257578, 201, 201, 0, 0, 0, 0, 0);
@@ -313,6 +447,29 @@ const GOLDEN_LANE_PRIVATE_64_NUMAISH: Golden = (19156, 150, 150, 0, 0, 0, 0, 0);
 const GOLDEN_PRIVATE_WORD_ADAPTIVE: Golden = (24800, 400, 300, 0, 0, 100, 0, 0);
 const GOLDEN_BST_ADAPTIVE: Golden = (165066, 499, 499, 0, 0, 0, 0, 0);
 const GOLDEN_MIDDLE_PATH_WORD: Golden = (4418, 82, 40, 2, 0, 0, 0, 40);
+// Composed goldens (PR 10): recorded on the tree that introduced
+// `pto_core::compose`; regenerate with PTO_GOLDEN_PRINT=1 if the compose
+// wrapper's charged costs change on purpose.
+const GOLDEN_COMPOSED_TRANSFER_HEAVY: Golden = (47108, 584, 431, 0, 0, 153, 0, 0);
+const GOLDEN_COMPOSED_POP_INSERT: Golden = (96859, 472, 256, 0, 0, 216, 0, 0);
+
+#[test]
+fn golden_composed_transfer_heavy_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(composed_transfer_heavy);
+    check("composed_transfer_heavy", got, GOLDEN_COMPOSED_TRANSFER_HEAVY);
+    let again = measure(composed_transfer_heavy);
+    assert_eq!(got, again, "composed transfer workload is not deterministic");
+}
+
+#[test]
+fn golden_composed_pop_insert_1lane() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let got = measure(composed_pop_insert);
+    check("composed_pop_insert", got, GOLDEN_COMPOSED_POP_INSERT);
+    let again = measure(composed_pop_insert);
+    assert_eq!(got, again, "composed pop+insert workload is not deterministic");
+}
 
 #[test]
 fn golden_private_word_adaptive_4lane() {
